@@ -1,0 +1,62 @@
+// Fig. 7b reproduction: robustness to task-domain changes. The dataset
+// switches from KITTI to VisDrone2019 mid-run (with the latency constraint
+// switching accordingly), FasterRCNN on the Jetson Orin Nano.
+
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace lotus;
+
+int main() {
+    const auto spec = platform::orin_nano_spec();
+    const auto iterations = bench::orin_iterations();
+    const auto half = iterations / 2;
+
+    const double l_kitti = workload::latency_constraint_s(
+        spec.name, detector::DetectorKind::faster_rcnn, "KITTI");
+    const double l_visdrone = workload::latency_constraint_s(
+        spec.name, detector::DetectorKind::faster_rcnn, "VisDrone2019");
+
+    std::printf("Fig. 7b -- domain changes (KITTI -> VisDrone2019 at iteration %zu)\n",
+                half);
+    std::printf("FasterRCNN on Jetson Orin Nano, %zu iterations, L: %.0f -> %.0f ms\n\n",
+                iterations, l_kitti * 1e3, l_visdrone * 1e3);
+
+    runtime::ExperimentConfig cfg{
+        .device_spec = spec,
+        .detector = detector::DetectorKind::faster_rcnn,
+        .schedule = workload::DomainSchedule::segments({
+            {0, "KITTI", l_kitti},
+            {half, "VisDrone2019", l_visdrone},
+        }),
+        .ambient = workload::AmbientProfile::constant(25.0),
+        .iterations = iterations,
+        .pretrain_iterations = bench::pretrain_iterations(),
+        .seed = 72,
+        .engine = {},
+    };
+
+    auto results = bench::run_arms(
+        cfg, {bench::default_arm(spec), bench::ztt_arm(spec), bench::lotus_arm(spec)});
+
+    bench::print_figure("Fig. 7b traces", results,
+                        platform::throttle_bound_celsius(spec), l_visdrone * 1e3);
+
+    for (const auto& r : results) {
+        const auto kitti = r.trace.summary(0, half);
+        const auto visdrone = r.trace.summary(half, iterations);
+        // Adaptation window: the first 10% of the new domain.
+        const auto adapt = r.trace.summary(half, half + iterations / 10);
+        std::printf("%-10s KITTI: %6.1f ms / R_L %5.1f%% | VisDrone: %6.1f ms / R_L "
+                    "%5.1f%% | first-tenth after switch: R_L %5.1f%%\n",
+                    r.name.c_str(), kitti.mean_latency_s * 1e3,
+                    kitti.satisfaction_rate * 100, visdrone.mean_latency_s * 1e3,
+                    visdrone.satisfaction_rate * 100, adapt.satisfaction_rate * 100);
+    }
+    bench::maybe_dump_csv("fig7b", results);
+    std::printf("\nExpected shape: all methods jump in latency at the switch (bigger\n"
+                "inputs, more proposals); Lotus recovers a stable band fastest and keeps\n"
+                "the highest satisfaction rate in both domains.\n");
+    return 0;
+}

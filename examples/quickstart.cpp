@@ -1,0 +1,80 @@
+// Quickstart: run LOTUS against the default governor on a simulated Jetson
+// Orin Nano executing Faster R-CNN over a KITTI-like stream, and print the
+// paper's three headline metrics (mean latency, latency std, satisfaction
+// rate) plus thermals for both.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "lotus_repro.hpp"
+
+namespace {
+
+void report(const char* name, const lotus::runtime::Summary& s) {
+    std::printf("  %-28s mean %7.1f ms   std %6.1f ms   R_L %5.1f %%   T_dev %5.1f C"
+                "   T_max %5.1f C   P %4.1f W   throttled %4.1f %%\n",
+                name, s.mean_latency_s * 1e3, s.std_latency_s * 1e3,
+                s.satisfaction_rate * 100.0, s.mean_device_temp, s.max_device_temp,
+                s.mean_power_w, s.throttled_fraction * 100.0);
+}
+
+} // namespace
+
+int main() {
+    using namespace lotus;
+
+    const auto spec = platform::orin_nano_spec();
+    constexpr std::size_t kIterations = 2000;
+    constexpr std::size_t kPretrain = 1500;
+
+    std::printf("LOTUS quickstart: %s + FasterRCNN + KITTI, %zu iterations\n",
+                spec.name.c_str(), kIterations);
+    std::printf("latency constraint L = %.0f ms, throttling bound = %.0f C\n\n",
+                workload::latency_constraint_s(spec.name, detector::DetectorKind::faster_rcnn,
+                                               "KITTI") *
+                    1e3,
+                platform::throttle_bound_celsius(spec));
+
+    // --- baseline: the board's stock governors ------------------------------
+    {
+        auto cfg = runtime::static_experiment(spec, detector::DetectorKind::faster_rcnn,
+                                              "KITTI", kIterations, /*pretrain=*/0);
+        runtime::ExperimentRunner runner(cfg);
+        auto governor = governors::DefaultGovernor::orin_nano();
+        const auto trace = runner.run(governor);
+        report(governor.name().c_str(), trace.summary());
+    }
+
+    // --- zTT (learning baseline) --------------------------------------------
+    {
+        auto cfg = runtime::static_experiment(spec, detector::DetectorKind::faster_rcnn,
+                                              "KITTI", kIterations, kPretrain);
+        runtime::ExperimentRunner runner(cfg);
+        governors::ZttConfig ztt_cfg;
+        ztt_cfg.t_thres_celsius = platform::reward_threshold_celsius(spec);
+        governors::ZttGovernor ztt(spec.cpu.opp.num_levels(), spec.gpu.opp.num_levels(),
+                                   ztt_cfg);
+        const auto trace = runner.run(ztt);
+        report(ztt.name().c_str(), trace.summary());
+    }
+
+    // --- LOTUS ---------------------------------------------------------------
+    {
+        auto cfg = runtime::static_experiment(spec, detector::DetectorKind::faster_rcnn,
+                                              "KITTI", kIterations, kPretrain);
+        runtime::ExperimentRunner runner(cfg);
+        core::LotusConfig lotus_cfg;
+        lotus_cfg.reward.t_thres_celsius = platform::reward_threshold_celsius(spec);
+        core::LotusAgent agent(spec.cpu.opp.num_levels(), spec.gpu.opp.num_levels(),
+                               lotus_cfg);
+        const auto trace = runner.run(agent);
+        report(agent.name().c_str(), trace.summary());
+        std::printf("\n  (Lotus pre-trained for %zu frames; epsilon now %.3f, "
+                    "%zu cool-down activations)\n",
+                    kPretrain, agent.epsilon(), agent.cooldown_activations());
+    }
+    return 0;
+}

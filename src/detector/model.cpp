@@ -1,0 +1,143 @@
+#include "detector/model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lotus::detector {
+
+const char* to_string(DetectorKind kind) noexcept {
+    switch (kind) {
+        case DetectorKind::faster_rcnn: return "FasterRCNN";
+        case DetectorKind::mask_rcnn: return "MaskRCNN";
+        case DetectorKind::yolo_v5: return "YOLOv5";
+    }
+    return "unknown";
+}
+
+DetectorModel::DetectorModel(DetectorSpec spec) : spec_(std::move(spec)) {
+    if (spec_.name.empty()) throw std::invalid_argument("DetectorModel: empty name");
+    if (spec_.max_proposals <= 0) {
+        throw std::invalid_argument("DetectorModel: max_proposals must be > 0");
+    }
+    if (spec_.keep_fraction < 0.0 || spec_.keep_fraction > 1.0) {
+        throw std::invalid_argument("DetectorModel: keep_fraction out of [0,1]");
+    }
+}
+
+int DetectorModel::clamp_proposals(int raw) const noexcept {
+    return std::clamp(raw, 0, spec_.max_proposals);
+}
+
+std::vector<WorkItem> DetectorModel::stage1_components(double resolution_scale,
+                                                       double complexity) const {
+    if (resolution_scale <= 0.0) {
+        throw std::invalid_argument("stage1_components: resolution_scale must be > 0");
+    }
+    // Pre-processing scales with pixel count; backbone/RPN scale with pixel
+    // count and the per-frame complexity factor (anchor density, scene
+    // texture -> slightly image-dependent kernel times).
+    return {
+        spec_.preprocess.scaled(resolution_scale),
+        spec_.backbone.scaled(resolution_scale * complexity),
+        spec_.rpn.scaled(resolution_scale * complexity),
+    };
+}
+
+std::vector<WorkItem> DetectorModel::stage2_components(int proposals) const {
+    const int p = clamp_proposals(proposals);
+    const double kept = spec_.keep_fraction * static_cast<double>(p);
+    return {
+        spec_.roi_base + spec_.roi_per_proposal.scaled(static_cast<double>(p)),
+        spec_.post_base + spec_.post_per_kept.scaled(kept),
+    };
+}
+
+WorkItem DetectorModel::stage1_total(double resolution_scale, double complexity) const {
+    WorkItem total;
+    for (const auto& c : stage1_components(resolution_scale, complexity)) total += c;
+    return total;
+}
+
+WorkItem DetectorModel::stage2_total(int proposals) const {
+    WorkItem total;
+    for (const auto& c : stage2_components(proposals)) total += c;
+    return total;
+}
+
+// ---------------------------------------------------------------------------
+// Model zoo.
+//
+// Reference throughputs used for calibration (Jetson Orin Nano at max OPP):
+//   cpu: 1.5104 GHz * 24 ops/cycle  = 36.25 Gops/s
+//   gpu: 624.75 MHz * 2048 ops/cycle = 1.279 Tops/s
+//   mem: 68 GB/s
+// Targets at the reference resolution (KITTI) and max OPP:
+//   FasterRCNN: stage1 ~ 260 ms (pre 12, backbone 210, rpn 38),
+//               stage2 ~ 21 ms + 0.15 ms/proposal  (Fig. 2: ~110 ms @ 600;
+//               the paper quotes up to ~160 ms stage-2 swing at a fixed
+//               mid-ladder frequency, Sec. 4.2)
+//   MaskRCNN:   stage1 ~ 280 ms, stage2 ~ 28 ms + 0.50 ms/proposal
+//               (Fig. 2: ~180 ms @ 300)
+//   YOLOv5s:    ~ 115 ms fixed.
+// ---------------------------------------------------------------------------
+
+DetectorModel faster_rcnn_r50() {
+    DetectorSpec spec;
+    spec.name = "faster_rcnn_r50_fpn";
+    spec.kind = DetectorKind::faster_rcnn;
+    spec.preprocess = {4.0e8, 0.0, 5.0e7};        // ~11 ms CPU + 0.7 ms mem
+    spec.backbone = {2.0e7, 2.18e11, 2.66e9};     // ~170 ms GPU + 39 ms mem
+    spec.rpn = {1.0e7, 3.84e10, 5.4e8};           // ~30 ms GPU + 8 ms mem
+    spec.roi_base = {2.0e7, 1.53e10, 2.0e8};      // ~12 ms GPU + 3 ms mem
+    spec.roi_per_proposal = {2.0e5, 1.7e8, 8.0e5}; // ~0.15 ms/proposal
+    spec.post_base = {2.2e8, 0.0, 1.0e7};         // ~6 ms CPU
+    spec.post_per_kept = {7.0e5, 0.0, 2.0e4};     // ~0.02 ms/kept
+    spec.keep_fraction = 0.3;
+    spec.max_proposals = 620;
+    return DetectorModel(spec);
+}
+
+DetectorModel mask_rcnn_r50() {
+    DetectorSpec spec;
+    spec.name = "mask_rcnn_r50_fpn";
+    spec.kind = DetectorKind::mask_rcnn;
+    spec.preprocess = {4.2e8, 0.0, 5.5e7};
+    spec.backbone = {2.0e7, 2.36e11, 2.80e9};     // ~184 ms GPU + 41 ms mem
+    spec.rpn = {1.0e7, 3.84e10, 5.4e8};
+    spec.roi_base = {2.5e7, 2.05e10, 3.0e8};      // ~16 ms GPU + 4.4 ms mem
+    spec.roi_per_proposal = {3.0e5, 6.0e8, 2.5e6}; // ~0.51 ms/proposal (mask head)
+    spec.post_base = {2.6e8, 0.0, 2.0e7};
+    spec.post_per_kept = {1.4e6, 0.0, 8.0e4};
+    spec.keep_fraction = 0.3;
+    spec.max_proposals = 300;
+    return DetectorModel(spec);
+}
+
+DetectorModel yolov5s() {
+    DetectorSpec spec;
+    spec.name = "yolov5s";
+    spec.kind = DetectorKind::yolo_v5;
+    spec.preprocess = {3.0e8, 0.0, 4.0e7};        // ~8 ms CPU
+    spec.backbone = {1.5e7, 1.09e11, 1.20e9};     // ~85 ms GPU + 18 ms mem
+    spec.rpn = {};                                // no RPN
+    spec.roi_base = {};                           // no RoI stage
+    spec.roi_per_proposal = {};
+    spec.post_base = {1.8e8, 0.0, 8.0e6};         // NMS ~5 ms CPU
+    spec.post_per_kept = {};
+    spec.keep_fraction = 0.0;
+    // One-stage: the "proposal count" is the fixed anchor grid; per-proposal
+    // work is zero so the value never influences latency.
+    spec.max_proposals = 25200; // YOLOv5 @ 640: 3 scales * 80*80+40*40+20*20 * 3
+    return DetectorModel(spec);
+}
+
+DetectorModel make_detector(DetectorKind kind) {
+    switch (kind) {
+        case DetectorKind::faster_rcnn: return faster_rcnn_r50();
+        case DetectorKind::mask_rcnn: return mask_rcnn_r50();
+        case DetectorKind::yolo_v5: return yolov5s();
+    }
+    throw std::invalid_argument("make_detector: unknown kind");
+}
+
+} // namespace lotus::detector

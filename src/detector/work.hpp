@@ -1,0 +1,53 @@
+#pragma once
+// Abstract work model for detector pipeline components.
+//
+// A component's cost is expressed device-independently as
+//   * cpu_ops   -- executed on the CPU cluster at cpu_throughput ops/s,
+//   * gpu_ops   -- executed on the GPU at gpu_throughput ops/s,
+//   * mem_bytes -- DRAM traffic served at the device memory bandwidth.
+//
+// Latency follows a serial roofline:
+//   t = cpu_ops / thr_cpu  +  gpu_ops / thr_gpu  +  mem_bytes / bw
+// The memory term does not scale with core frequency, which gives the
+// realistic diminishing return of high OPP levels: pushing f_gpu up buys
+// less and less latency while power still grows ~ f V^2. That convexity is
+// the economic core of the DVFS trade-off LOTUS learns.
+
+namespace lotus::detector {
+
+struct WorkItem {
+    double cpu_ops = 0.0;
+    double gpu_ops = 0.0;
+    double mem_bytes = 0.0;
+
+    [[nodiscard]] WorkItem scaled(double factor) const noexcept {
+        return {cpu_ops * factor, gpu_ops * factor, mem_bytes * factor};
+    }
+
+    WorkItem& operator+=(const WorkItem& o) noexcept {
+        cpu_ops += o.cpu_ops;
+        gpu_ops += o.gpu_ops;
+        mem_bytes += o.mem_bytes;
+        return *this;
+    }
+
+    friend WorkItem operator+(WorkItem a, const WorkItem& b) noexcept { return a += b; }
+
+    [[nodiscard]] bool empty() const noexcept {
+        return cpu_ops <= 0.0 && gpu_ops <= 0.0 && mem_bytes <= 0.0;
+    }
+};
+
+/// Closed-form latency of a work item at fixed throughputs (no DVFS changes
+/// mid-flight); the inference engine integrates incrementally instead, but
+/// tests and profiling tools use this form.
+[[nodiscard]] inline double latency_seconds(const WorkItem& w, double cpu_thr, double gpu_thr,
+                                            double mem_bw) noexcept {
+    double t = 0.0;
+    if (w.cpu_ops > 0.0) t += w.cpu_ops / cpu_thr;
+    if (w.gpu_ops > 0.0) t += w.gpu_ops / gpu_thr;
+    if (w.mem_bytes > 0.0) t += w.mem_bytes / mem_bw;
+    return t;
+}
+
+} // namespace lotus::detector

@@ -1,0 +1,55 @@
+#include "lotus/reward.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lotus::core {
+
+LotusReward::LotusReward(RewardConfig config)
+    : config_(config), window_(config.sigma_window) {
+    if (config_.penalty_p <= 0.0) {
+        throw std::invalid_argument("LotusReward: penalty p must be > 0");
+    }
+    if (config_.lambda_temp < 0.0) {
+        throw std::invalid_argument("LotusReward: negative lambda");
+    }
+}
+
+double LotusReward::r_time(double delta_l_norm, double sigma_n) const noexcept {
+    if (delta_l_norm > 0.0) {
+        return std::tanh(delta_l_norm) + 1.0 / (1.0 + sigma_n);
+    }
+    return config_.penalty_p * delta_l_norm; // negative: violation penalty
+}
+
+double LotusReward::r_temp(double cpu_temp, double gpu_temp) const noexcept {
+    if (cpu_temp <= config_.t_thres_celsius && gpu_temp <= config_.t_thres_celsius) {
+        return 1.0;
+    }
+    return -config_.penalty_p;
+}
+
+RewardBreakdown LotusReward::evaluate(double latency_s, double constraint_s, double cpu_temp,
+                                      double gpu_temp) {
+    if (constraint_s <= 0.0) {
+        throw std::invalid_argument("LotusReward: constraint must be > 0");
+    }
+    RewardBreakdown out;
+    out.delta_l_norm = (constraint_s - latency_s) / constraint_s;
+
+    // sigma_n over the most recent n frames *including* this one, matching
+    // "the standard deviation calculated from the n most recent images".
+    window_.add(out.delta_l_norm);
+    out.sigma_n = window_.stddev();
+
+    out.r_time = r_time(out.delta_l_norm, out.sigma_n);
+    out.r_temp = r_temp(cpu_temp, gpu_temp);
+    out.total = out.r_time + config_.lambda_temp * out.r_temp;
+    return out;
+}
+
+void LotusReward::reset() {
+    window_.reset();
+}
+
+} // namespace lotus::core

@@ -1,0 +1,84 @@
+#include "lotus/state.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lotus::core {
+
+ActionCodec::ActionCodec(std::size_t cpu_levels, std::size_t gpu_levels)
+    : cpu_levels_(cpu_levels), gpu_levels_(gpu_levels) {
+    if (cpu_levels_ == 0 || gpu_levels_ == 0) {
+        throw std::invalid_argument("ActionCodec: zero levels");
+    }
+}
+
+int ActionCodec::encode(std::size_t cpu_level, std::size_t gpu_level) const {
+    if (cpu_level >= cpu_levels_ || gpu_level >= gpu_levels_) {
+        throw std::out_of_range("ActionCodec::encode: level out of range");
+    }
+    return static_cast<int>(cpu_level * gpu_levels_ + gpu_level);
+}
+
+std::pair<std::size_t, std::size_t> ActionCodec::decode(int action) const {
+    if (action < 0 || static_cast<std::size_t>(action) >= num_actions()) {
+        throw std::out_of_range("ActionCodec::decode: action out of range");
+    }
+    const auto a = static_cast<std::size_t>(action);
+    return {a / gpu_levels_, a % gpu_levels_};
+}
+
+StateEncoder::StateEncoder(std::size_t cpu_levels, std::size_t gpu_levels,
+                           StateEncoderConfig config)
+    : cpu_levels_(cpu_levels), gpu_levels_(gpu_levels), config_(config) {
+    if (cpu_levels_ < 2 || gpu_levels_ < 2) {
+        throw std::invalid_argument("StateEncoder: need at least two levels per domain");
+    }
+    if (config_.proposal_norm <= 0.0 || config_.delta_l_clamp <= 0.0 ||
+        config_.temp_scale_k <= 0.0) {
+        throw std::invalid_argument("StateEncoder: bad normalisation constants");
+    }
+}
+
+double StateEncoder::norm_temp(double t_celsius) const noexcept {
+    return (t_celsius - config_.temp_ref_celsius) / config_.temp_scale_k;
+}
+
+double StateEncoder::norm_delta_l(double delta_l_s, double constraint_s) const noexcept {
+    const double n = delta_l_s / constraint_s;
+    return std::clamp(n, -config_.delta_l_clamp, config_.delta_l_clamp);
+}
+
+std::vector<double> StateEncoder::encode_even(const governors::Observation& obs) const {
+    // DeltaL at frame start: previous frame's slack (L when no history, i.e.
+    // "entire budget available").
+    const double delta_l = obs.last_frame_latency_s > 0.0
+                               ? obs.latency_constraint_s - obs.last_frame_latency_s
+                               : obs.latency_constraint_s;
+    return {
+        0.0, // S: stage flag
+        norm_temp(obs.cpu_temp),
+        norm_temp(obs.gpu_temp),
+        static_cast<double>(obs.cpu_level) / static_cast<double>(cpu_levels_ - 1),
+        static_cast<double>(obs.gpu_level) / static_cast<double>(gpu_levels_ - 1),
+        norm_delta_l(delta_l, obs.latency_constraint_s),
+        0.0, // P: unavailable at frame start; dropped by the 0.75x width
+    };
+}
+
+std::vector<double> StateEncoder::encode_odd(const governors::Observation& obs) const {
+    if (obs.proposals < 0) {
+        throw std::invalid_argument("encode_odd: proposals not available");
+    }
+    const double delta_l = obs.latency_constraint_s - obs.elapsed_in_frame_s;
+    return {
+        1.0,
+        norm_temp(obs.cpu_temp),
+        norm_temp(obs.gpu_temp),
+        static_cast<double>(obs.cpu_level) / static_cast<double>(cpu_levels_ - 1),
+        static_cast<double>(obs.gpu_level) / static_cast<double>(gpu_levels_ - 1),
+        norm_delta_l(delta_l, obs.latency_constraint_s),
+        std::min(static_cast<double>(obs.proposals) / config_.proposal_norm, 2.0),
+    };
+}
+
+} // namespace lotus::core

@@ -1,0 +1,187 @@
+#include "platform/device.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace lotus::platform {
+
+EdgeDevice::EdgeDevice(DeviceSpec spec)
+    : spec_(std::move(spec)),
+      cpu_power_(spec_.cpu.power),
+      gpu_power_(spec_.gpu.power),
+      thermal_(spec_.thermal),
+      cpu_throttle_([&] {
+          auto p = spec_.cpu_throttle;
+          p.num_levels = spec_.cpu.opp.num_levels();
+          return p;
+      }()),
+      gpu_throttle_([&] {
+          auto p = spec_.gpu_throttle;
+          p.num_levels = spec_.gpu.opp.num_levels();
+          return p;
+      }()),
+      req_cpu_(spec_.cpu.opp.num_levels() - 1),
+      req_gpu_(spec_.gpu.opp.num_levels() - 1),
+      ambient_(spec_.initial_ambient_celsius) {
+    if (spec_.mem_bandwidth <= 0.0) {
+        throw std::invalid_argument("EdgeDevice: mem_bandwidth must be > 0");
+    }
+    if (spec_.dvfs_latency_s < 0.0) {
+        throw std::invalid_argument("EdgeDevice: negative dvfs latency");
+    }
+    thermal_.reset(ambient_);
+}
+
+void EdgeDevice::request_levels(std::size_t cpu_level, std::size_t gpu_level) {
+    if (cpu_level >= cpu_levels() || gpu_level >= gpu_levels()) {
+        throw std::out_of_range("EdgeDevice::request_levels: level out of range");
+    }
+    const bool changed = cpu_level != req_cpu_ || gpu_level != req_gpu_;
+    req_cpu_ = cpu_level;
+    req_gpu_ = gpu_level;
+    if (changed && spec_.dvfs_latency_s > 0.0) {
+        // The frequency-scaling syscalls themselves take time (the paper
+        // measures dozens of microseconds); the device is essentially idle
+        // while they execute.
+        advance(spec_.dvfs_latency_s, 0.0, 0.0);
+    }
+}
+
+void EdgeDevice::request_cpu_level(std::size_t level) {
+    request_levels(level, req_gpu_);
+}
+
+void EdgeDevice::request_gpu_level(std::size_t level) {
+    request_levels(req_cpu_, level);
+}
+
+std::size_t EdgeDevice::cpu_level() const noexcept {
+    return std::min(req_cpu_, cpu_throttle_.cap());
+}
+
+std::size_t EdgeDevice::gpu_level() const noexcept {
+    return std::min(req_gpu_, gpu_throttle_.cap());
+}
+
+double EdgeDevice::cpu_freq() const noexcept {
+    return spec_.cpu.opp.freq(cpu_level());
+}
+
+double EdgeDevice::gpu_freq() const noexcept {
+    return spec_.gpu.opp.freq(gpu_level());
+}
+
+double EdgeDevice::cpu_throughput() const noexcept {
+    return cpu_freq() * spec_.cpu.ops_per_cycle;
+}
+
+double EdgeDevice::gpu_throughput() const noexcept {
+    return gpu_freq() * spec_.gpu.ops_per_cycle;
+}
+
+void EdgeDevice::advance(double dt, double cpu_util, double gpu_util) {
+    if (dt < 0.0) throw std::invalid_argument("EdgeDevice::advance: negative dt");
+    // Sub-step so that throttling (polled at ~100 ms) can change the granted
+    // frequency *during* a long stage, exactly as on hardware.
+    constexpr double kMaxSlice = 0.02;
+    while (dt > 0.0) {
+        const double h = std::min(dt, kMaxSlice);
+        dt -= h;
+
+        const auto cl = cpu_level();
+        const auto gl = gpu_level();
+        const double p_cpu = cpu_power_.total(spec_.cpu.opp.freq(cl), spec_.cpu.opp.voltage(cl),
+                                              cpu_util, cpu_temp());
+        const double p_gpu = gpu_power_.total(spec_.gpu.opp.freq(gl), spec_.gpu.opp.voltage(gl),
+                                              gpu_util, gpu_temp());
+        last_power_ = {p_cpu, p_gpu};
+        energy_j_ += (p_cpu + p_gpu) * h;
+
+        thermal_.step(h, {p_cpu, p_gpu, 0.0}, ambient_);
+        now_ += h;
+        cpu_throttle_.update(now_, cpu_temp());
+        gpu_throttle_.update(now_, gpu_temp());
+    }
+}
+
+void EdgeDevice::reset() {
+    thermal_.reset(ambient_);
+    cpu_throttle_.reset();
+    gpu_throttle_.reset();
+    now_ = 0.0;
+    energy_j_ = 0.0;
+    last_power_ = {};
+}
+
+void EdgeDevice::mount_sysfs(SysfsFs& fs) {
+    const auto khz = [](double hz) {
+        std::ostringstream ss;
+        ss << static_cast<long long>(hz / 1000.0);
+        return ss.str();
+    };
+    const auto hz_str = [](double hz) {
+        std::ostringstream ss;
+        ss << static_cast<long long>(hz);
+        return ss.str();
+    };
+    const auto milli_c = [](double celsius) {
+        std::ostringstream ss;
+        ss << static_cast<long long>(celsius * 1000.0);
+        return ss.str();
+    };
+
+    // cpufreq (kHz, like the kernel interface)
+    const std::string cpufreq = "/sys/devices/system/cpu/cpu0/cpufreq";
+    fs.add_file(cpufreq + "/scaling_cur_freq", [this, khz] { return khz(cpu_freq()); });
+    fs.add_file(cpufreq + "/scaling_available_frequencies", [this] {
+        std::ostringstream ss;
+        for (std::size_t i = 0; i < cpu_levels(); ++i) {
+            if (i) ss << ' ';
+            ss << static_cast<long long>(spec_.cpu.opp.freq(i) / 1000.0);
+        }
+        return ss.str();
+    });
+    fs.add_file(
+        cpufreq + "/scaling_setspeed", [this, khz] { return khz(spec_.cpu.opp.freq(req_cpu_)); },
+        [this](const std::string& v) {
+            const double f = std::stod(v) * 1000.0;
+            request_cpu_level(spec_.cpu.opp.level_for_freq(f));
+        });
+    fs.add_file(cpufreq + "/scaling_max_freq",
+                [this, khz] { return khz(spec_.cpu.opp.freq(cpu_throttle_.cap())); });
+
+    // devfreq GPU (Hz, like the kernel interface)
+    const std::string devfreq = "/sys/class/devfreq/gpu";
+    fs.add_file(devfreq + "/cur_freq", [this, hz_str] { return hz_str(gpu_freq()); });
+    fs.add_file(devfreq + "/available_frequencies", [this] {
+        std::ostringstream ss;
+        for (std::size_t i = 0; i < gpu_levels(); ++i) {
+            if (i) ss << ' ';
+            ss << static_cast<long long>(spec_.gpu.opp.freq(i));
+        }
+        return ss.str();
+    });
+    fs.add_file(
+        devfreq + "/userspace/set_freq",
+        [this, hz_str] { return hz_str(spec_.gpu.opp.freq(req_gpu_)); },
+        [this](const std::string& v) {
+            request_gpu_level(spec_.gpu.opp.level_for_freq(std::stod(v)));
+        });
+    fs.add_file(devfreq + "/max_freq",
+                [this, hz_str] { return hz_str(spec_.gpu.opp.freq(gpu_throttle_.cap())); });
+
+    // thermal zones (milli-degC, like the kernel interface)
+    fs.add_file("/sys/class/thermal/thermal_zone0/type", [] { return std::string("cpu-thermal"); });
+    fs.add_file("/sys/class/thermal/thermal_zone0/temp",
+                [this, milli_c] { return milli_c(cpu_temp()); });
+    fs.add_file("/sys/class/thermal/thermal_zone1/type", [] { return std::string("gpu-thermal"); });
+    fs.add_file("/sys/class/thermal/thermal_zone1/temp",
+                [this, milli_c] { return milli_c(gpu_temp()); });
+    fs.add_file("/sys/class/thermal/thermal_zone2/type",
+                [] { return std::string("board-thermal"); });
+    fs.add_file("/sys/class/thermal/thermal_zone2/temp",
+                [this, milli_c] { return milli_c(board_temp()); });
+}
+
+} // namespace lotus::platform

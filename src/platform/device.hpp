@@ -1,0 +1,138 @@
+#pragma once
+// EdgeDevice: the simulated edge platform.
+//
+// Ties together the two DVFS domains (CPU cluster + GPU), the power model,
+// the RC thermal network, the per-domain thermal throttlers and a simulated
+// clock. Client code (the inference engine / governors) interacts with it
+// the way user space interacts with a Jetson or Android device:
+//   * request OPP levels (granted levels are clamped by the throttle caps),
+//   * burn compute time via advance(dt, cpu_util, gpu_util),
+//   * observe temperatures/frequencies -- directly or through the mounted
+//     sysfs tree.
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "platform/opp.hpp"
+#include "platform/power.hpp"
+#include "platform/sysfs.hpp"
+#include "platform/thermal.hpp"
+#include "platform/throttle.hpp"
+
+namespace lotus::platform {
+
+/// One DVFS domain: its OPP ladder, power parameters and compute
+/// characteristics used by the detector latency model.
+struct DomainSpec {
+    OppTable opp;
+    PowerParams power;
+    /// Effective ops per cycle: throughput at frequency f is f * ops_per_cycle
+    /// (ops in the abstract work units used by lotus::detector).
+    double ops_per_cycle = 1.0;
+};
+
+struct DeviceSpec {
+    std::string name;
+    DomainSpec cpu;
+    DomainSpec gpu;
+    ThermalParams thermal;
+    ThrottleParams cpu_throttle;
+    ThrottleParams gpu_throttle;
+    /// Memory bandwidth seen by the accelerators [bytes/s]; the memory-bound
+    /// part of a kernel does not speed up with core frequency.
+    double mem_bandwidth = 50e9;
+    /// Latency of one frequency-scaling syscall pair [s] (paper: "dozens of
+    /// microseconds").
+    double dvfs_latency_s = 50e-6;
+    double initial_ambient_celsius = 25.0;
+};
+
+struct PowerSample {
+    double cpu_w = 0.0;
+    double gpu_w = 0.0;
+    [[nodiscard]] double total() const noexcept { return cpu_w + gpu_w; }
+};
+
+class EdgeDevice {
+public:
+    explicit EdgeDevice(DeviceSpec spec);
+
+    // --- DVFS -------------------------------------------------------------
+    [[nodiscard]] std::size_t cpu_levels() const noexcept { return spec_.cpu.opp.num_levels(); }
+    [[nodiscard]] std::size_t gpu_levels() const noexcept { return spec_.gpu.opp.num_levels(); }
+
+    /// Request OPP levels; the granted level is min(request, throttle cap).
+    /// Advances the clock by the DVFS transition latency when the request
+    /// changes anything.
+    void request_levels(std::size_t cpu_level, std::size_t gpu_level);
+    void request_cpu_level(std::size_t level);
+    void request_gpu_level(std::size_t level);
+
+    [[nodiscard]] std::size_t requested_cpu_level() const noexcept { return req_cpu_; }
+    [[nodiscard]] std::size_t requested_gpu_level() const noexcept { return req_gpu_; }
+    /// Granted (throttle-clamped) levels.
+    [[nodiscard]] std::size_t cpu_level() const noexcept;
+    [[nodiscard]] std::size_t gpu_level() const noexcept;
+    [[nodiscard]] double cpu_freq() const noexcept;
+    [[nodiscard]] double gpu_freq() const noexcept;
+
+    /// Effective compute throughput [ops/s] at the granted levels.
+    [[nodiscard]] double cpu_throughput() const noexcept;
+    [[nodiscard]] double gpu_throughput() const noexcept;
+    [[nodiscard]] double mem_bandwidth() const noexcept { return spec_.mem_bandwidth; }
+
+    // --- time / physics ----------------------------------------------------
+    /// Advance simulated time by dt seconds with the given domain
+    /// utilizations; integrates the thermal network (sub-stepped), polls the
+    /// throttlers and accumulates energy.
+    void advance(double dt, double cpu_util, double gpu_util);
+
+    [[nodiscard]] double now() const noexcept { return now_; }
+
+    // --- observability -----------------------------------------------------
+    [[nodiscard]] double cpu_temp() const noexcept {
+        return thermal_.temperature(ThermalNode::cpu);
+    }
+    [[nodiscard]] double gpu_temp() const noexcept {
+        return thermal_.temperature(ThermalNode::gpu);
+    }
+    [[nodiscard]] double board_temp() const noexcept {
+        return thermal_.temperature(ThermalNode::board);
+    }
+    [[nodiscard]] bool cpu_throttled() const noexcept { return cpu_throttle_.engaged(); }
+    [[nodiscard]] bool gpu_throttled() const noexcept { return gpu_throttle_.engaged(); }
+    [[nodiscard]] bool throttled() const noexcept { return cpu_throttled() || gpu_throttled(); }
+    [[nodiscard]] PowerSample last_power() const noexcept { return last_power_; }
+    [[nodiscard]] double energy_joules() const noexcept { return energy_j_; }
+
+    // --- environment --------------------------------------------------------
+    void set_ambient(double celsius) noexcept { ambient_ = celsius; }
+    [[nodiscard]] double ambient() const noexcept { return ambient_; }
+
+    /// Reset temperatures (to ambient), throttlers, clock and energy; keeps
+    /// the requested levels.
+    void reset();
+
+    [[nodiscard]] const DeviceSpec& spec() const noexcept { return spec_; }
+
+    /// Register the kernel-like sysfs nodes for this device on `fs`.
+    void mount_sysfs(SysfsFs& fs);
+
+private:
+    DeviceSpec spec_;
+    PowerModel cpu_power_;
+    PowerModel gpu_power_;
+    ThermalNetwork thermal_;
+    ThermalThrottler cpu_throttle_;
+    ThermalThrottler gpu_throttle_;
+
+    std::size_t req_cpu_;
+    std::size_t req_gpu_;
+    double now_ = 0.0;
+    double ambient_;
+    double energy_j_ = 0.0;
+    PowerSample last_power_;
+};
+
+} // namespace lotus::platform

@@ -1,0 +1,51 @@
+#include "platform/sysfs.hpp"
+
+#include <stdexcept>
+
+namespace lotus::platform {
+
+void SysfsFs::add_file(const std::string& path, ReadFn read) {
+    add_file(path, std::move(read), WriteFn{});
+}
+
+void SysfsFs::add_file(const std::string& path, ReadFn read, WriteFn write) {
+    if (path.empty() || path.front() != '/') {
+        throw std::invalid_argument("SysfsFs: path must be absolute: " + path);
+    }
+    if (!read) throw std::invalid_argument("SysfsFs: read handler required");
+    const auto [it, inserted] = nodes_.emplace(path, Node{std::move(read), std::move(write)});
+    if (!inserted) throw std::invalid_argument("SysfsFs: duplicate path: " + path);
+}
+
+bool SysfsFs::exists(const std::string& path) const noexcept {
+    return nodes_.contains(path);
+}
+
+std::string SysfsFs::read(const std::string& path) const {
+    const auto it = nodes_.find(path);
+    if (it == nodes_.end()) throw std::out_of_range("SysfsFs: no such file: " + path);
+    return it->second.read();
+}
+
+long long SysfsFs::read_ll(const std::string& path) const {
+    return std::stoll(read(path));
+}
+
+void SysfsFs::write(const std::string& path, const std::string& value) {
+    const auto it = nodes_.find(path);
+    if (it == nodes_.end()) throw std::out_of_range("SysfsFs: no such file: " + path);
+    if (!it->second.write) {
+        throw std::runtime_error("SysfsFs: permission denied (read-only): " + path);
+    }
+    it->second.write(value);
+}
+
+std::vector<std::string> SysfsFs::list(const std::string& prefix) const {
+    std::vector<std::string> out;
+    for (const auto& [path, node] : nodes_) {
+        if (path.compare(0, prefix.size(), prefix) == 0) out.push_back(path);
+    }
+    return out;
+}
+
+} // namespace lotus::platform

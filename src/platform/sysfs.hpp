@@ -1,0 +1,56 @@
+#pragma once
+// Virtual sysfs tree.
+//
+// The paper collects every observation "directly through the sysfs in the
+// Linux kernel and Android kernel" (Sec. 4.4). To keep the governors in this
+// reproduction faithful to how they would be written against real hardware,
+// the simulated device exposes the same interface: a string-keyed file tree
+// with read/write handlers backed by simulator state. Governors address
+// paths such as
+//   /sys/devices/system/cpu/cpu0/cpufreq/scaling_cur_freq      (kHz)
+//   /sys/class/devfreq/gpu/cur_freq                            (Hz)
+//   /sys/class/thermal/thermal_zone0/temp                      (milli-degC)
+// exactly like their kernel counterparts.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lotus::platform {
+
+class SysfsFs {
+public:
+    using ReadFn = std::function<std::string()>;
+    using WriteFn = std::function<void(const std::string&)>;
+
+    /// Register a read-only file. Throws if the path already exists.
+    void add_file(const std::string& path, ReadFn read);
+
+    /// Register a read-write file.
+    void add_file(const std::string& path, ReadFn read, WriteFn write);
+
+    [[nodiscard]] bool exists(const std::string& path) const noexcept;
+
+    /// Read the file contents; throws std::out_of_range for missing paths.
+    [[nodiscard]] std::string read(const std::string& path) const;
+
+    /// Read and parse as a long integer (sysfs files are line-oriented).
+    [[nodiscard]] long long read_ll(const std::string& path) const;
+
+    /// Write; throws std::out_of_range for missing paths and
+    /// std::runtime_error (EACCES-equivalent) for read-only files.
+    void write(const std::string& path, const std::string& value);
+
+    /// All registered paths under the given prefix (sorted), like `ls -R`.
+    [[nodiscard]] std::vector<std::string> list(const std::string& prefix = "/") const;
+
+private:
+    struct Node {
+        ReadFn read;
+        WriteFn write; // empty -> read-only
+    };
+    std::map<std::string, Node> nodes_;
+};
+
+} // namespace lotus::platform

@@ -1,0 +1,94 @@
+#include "platform/sysfs_client.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lotus::platform {
+
+namespace {
+
+constexpr const char* kCpuFreq = "/sys/devices/system/cpu/cpu0/cpufreq";
+constexpr const char* kGpuDevfreq = "/sys/class/devfreq/gpu";
+constexpr const char* kCpuThermal = "/sys/class/thermal/thermal_zone0/temp";
+constexpr const char* kGpuThermal = "/sys/class/thermal/thermal_zone1/temp";
+
+std::vector<double> parse_freq_list(const std::string& text, double scale) {
+    std::vector<double> out;
+    std::istringstream ss(text);
+    double value = 0.0;
+    while (ss >> value) out.push_back(value * scale);
+    return out;
+}
+
+} // namespace
+
+SysfsDvfsClient::SysfsDvfsClient(SysfsFs& fs) : fs_(fs) {
+    if (!fs_.exists(std::string(kCpuFreq) + "/scaling_cur_freq")) {
+        throw std::invalid_argument(
+            "SysfsDvfsClient: no device mounted on this sysfs tree");
+    }
+}
+
+double SysfsDvfsClient::cpu_temp_celsius() const {
+    return static_cast<double>(fs_.read_ll(kCpuThermal)) / 1000.0;
+}
+
+double SysfsDvfsClient::gpu_temp_celsius() const {
+    return static_cast<double>(fs_.read_ll(kGpuThermal)) / 1000.0;
+}
+
+double SysfsDvfsClient::cpu_freq_hz() const {
+    // cpufreq reports kHz.
+    return static_cast<double>(fs_.read_ll(std::string(kCpuFreq) + "/scaling_cur_freq")) *
+           1000.0;
+}
+
+double SysfsDvfsClient::gpu_freq_hz() const {
+    // devfreq reports Hz.
+    return static_cast<double>(fs_.read_ll(std::string(kGpuDevfreq) + "/cur_freq"));
+}
+
+double SysfsDvfsClient::cpu_max_freq_hz() const {
+    return static_cast<double>(fs_.read_ll(std::string(kCpuFreq) + "/scaling_max_freq")) *
+           1000.0;
+}
+
+double SysfsDvfsClient::gpu_max_freq_hz() const {
+    return static_cast<double>(fs_.read_ll(std::string(kGpuDevfreq) + "/max_freq"));
+}
+
+std::vector<double> SysfsDvfsClient::cpu_available_hz() const {
+    return parse_freq_list(
+        fs_.read(std::string(kCpuFreq) + "/scaling_available_frequencies"), 1000.0);
+}
+
+std::vector<double> SysfsDvfsClient::gpu_available_hz() const {
+    return parse_freq_list(fs_.read(std::string(kGpuDevfreq) + "/available_frequencies"),
+                           1.0);
+}
+
+void SysfsDvfsClient::set_cpu_freq_hz(double hz) {
+    std::ostringstream ss;
+    ss << static_cast<long long>(hz / 1000.0);
+    fs_.write(std::string(kCpuFreq) + "/scaling_setspeed", ss.str());
+}
+
+void SysfsDvfsClient::set_gpu_freq_hz(double hz) {
+    std::ostringstream ss;
+    ss << static_cast<long long>(hz);
+    fs_.write(std::string(kGpuDevfreq) + "/userspace/set_freq", ss.str());
+}
+
+void SysfsDvfsClient::set_cpu_level(std::size_t level) {
+    const auto ladder = cpu_available_hz();
+    if (level >= ladder.size()) throw std::out_of_range("set_cpu_level");
+    set_cpu_freq_hz(ladder[level]);
+}
+
+void SysfsDvfsClient::set_gpu_level(std::size_t level) {
+    const auto ladder = gpu_available_hz();
+    if (level >= ladder.size()) throw std::out_of_range("set_gpu_level");
+    set_gpu_freq_hz(ladder[level]);
+}
+
+} // namespace lotus::platform

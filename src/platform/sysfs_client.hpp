@@ -1,0 +1,49 @@
+#pragma once
+// Kernel-interface client: typed access to the device state through the
+// sysfs tree, mirroring how the paper's agent collects every observation
+// ("directly through the sysfs in the Linux kernel and Android kernel",
+// Sec. 4.4) and applies frequency decisions.
+//
+// On real hardware this class would read/write actual /sys files; here it
+// runs against the SysfsFs emulation mounted by EdgeDevice::mount_sysfs,
+// giving governors an actuation path that is textually identical to a
+// deployment.
+
+#include <vector>
+
+#include "platform/sysfs.hpp"
+
+namespace lotus::platform {
+
+class SysfsDvfsClient {
+public:
+    /// `fs` must outlive the client and have a device mounted on it.
+    explicit SysfsDvfsClient(SysfsFs& fs);
+
+    // --- observations ------------------------------------------------------
+    [[nodiscard]] double cpu_temp_celsius() const;
+    [[nodiscard]] double gpu_temp_celsius() const;
+    [[nodiscard]] double cpu_freq_hz() const;
+    [[nodiscard]] double gpu_freq_hz() const;
+    /// Throttle-capped ceilings currently advertised by the kernel.
+    [[nodiscard]] double cpu_max_freq_hz() const;
+    [[nodiscard]] double gpu_max_freq_hz() const;
+
+    /// Available OPP frequencies, ascending [Hz].
+    [[nodiscard]] std::vector<double> cpu_available_hz() const;
+    [[nodiscard]] std::vector<double> gpu_available_hz() const;
+
+    // --- actuation ----------------------------------------------------------
+    /// Request a frequency (snapped to the ladder by the kernel side).
+    void set_cpu_freq_hz(double hz);
+    void set_gpu_freq_hz(double hz);
+
+    /// Convenience: request by OPP-ladder index.
+    void set_cpu_level(std::size_t level);
+    void set_gpu_level(std::size_t level);
+
+private:
+    SysfsFs& fs_;
+};
+
+} // namespace lotus::platform

@@ -1,0 +1,94 @@
+#include "platform/thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lotus::platform {
+
+namespace {
+constexpr std::size_t kCpu = static_cast<std::size_t>(ThermalNode::cpu);
+constexpr std::size_t kGpu = static_cast<std::size_t>(ThermalNode::gpu);
+constexpr std::size_t kBoard = static_cast<std::size_t>(ThermalNode::board);
+} // namespace
+
+ThermalNetwork::ThermalNetwork(ThermalParams params) : params_(params) {
+    for (const double c : params_.capacity) {
+        if (c <= 0.0) throw std::invalid_argument("ThermalNetwork: capacity must be > 0");
+    }
+    for (const double g : params_.g_to_board) {
+        if (g < 0.0) throw std::invalid_argument("ThermalNetwork: negative conductance");
+    }
+    for (const double g : params_.g_to_ambient) {
+        if (g < 0.0) throw std::invalid_argument("ThermalNetwork: negative conductance");
+    }
+    if (params_.max_dt <= 0.0) throw std::invalid_argument("ThermalNetwork: max_dt must be > 0");
+    temps_ = params_.initial;
+}
+
+void ThermalNetwork::step(double dt, const std::array<double, kNumThermalNodes>& power_w,
+                          double ambient_celsius) {
+    if (dt < 0.0) throw std::invalid_argument("ThermalNetwork::step: negative dt");
+    while (dt > 0.0) {
+        const double h = std::min(dt, params_.max_dt);
+        dt -= h;
+
+        const double t_cpu = temps_[kCpu];
+        const double t_gpu = temps_[kGpu];
+        const double t_board = temps_[kBoard];
+
+        const double q_cpu_board = params_.g_to_board[kCpu] * (t_board - t_cpu);
+        const double q_gpu_board = params_.g_to_board[kGpu] * (t_board - t_gpu);
+
+        const double d_cpu = power_w[kCpu] + q_cpu_board +
+                             params_.g_to_ambient[kCpu] * (ambient_celsius - t_cpu);
+        const double d_gpu = power_w[kGpu] + q_gpu_board +
+                             params_.g_to_ambient[kGpu] * (ambient_celsius - t_gpu);
+        const double d_board = power_w[kBoard] - q_cpu_board - q_gpu_board +
+                               params_.g_to_ambient[kBoard] * (ambient_celsius - t_board);
+
+        temps_[kCpu] += h * d_cpu / params_.capacity[kCpu];
+        temps_[kGpu] += h * d_gpu / params_.capacity[kGpu];
+        temps_[kBoard] += h * d_board / params_.capacity[kBoard];
+    }
+}
+
+std::array<double, kNumThermalNodes> ThermalNetwork::steady_state(
+    const std::array<double, kNumThermalNodes>& power_w, double ambient_celsius) const {
+    // Eliminate the die nodes, then solve the board balance.
+    //   T_die = (P_die + Gdb * T_board + Gda * T_amb) / (Gdb + Gda)
+    const double g0b = params_.g_to_board[kCpu];
+    const double g0a = params_.g_to_ambient[kCpu];
+    const double g1b = params_.g_to_board[kGpu];
+    const double g1a = params_.g_to_ambient[kGpu];
+    const double g2a = params_.g_to_ambient[kBoard];
+    const double ta = ambient_celsius;
+
+    // Heat flowing die -> board expressed in T_board:
+    //   Q_d = Gdb * (T_die - T_board)
+    //       = Gdb * ((P_d + Gda*Ta - Ga_sum*T_board + Gdb*T_board) ... )
+    // Work it through for both dies and solve the linear board equation
+    //   0 = P_board + Q_cpu + Q_gpu + g2a (Ta - T_board).
+    const double s0 = g0b + g0a;
+    const double s1 = g1b + g1a;
+    // Q_cpu = g0b * ((P0 + g0a Ta)/s0 + (g0b/s0 - 1) T_board)
+    const double c0 = g0b * (power_w[kCpu] + g0a * ta) / s0;
+    const double k0 = g0b * (g0b / s0 - 1.0);
+    const double c1 = g1b * (power_w[kGpu] + g1a * ta) / s1;
+    const double k1 = g1b * (g1b / s1 - 1.0);
+
+    const double t_board = (power_w[kBoard] + c0 + c1 + g2a * ta) / (g2a - k0 - k1);
+    const double t_cpu = (power_w[kCpu] + g0b * t_board + g0a * ta) / s0;
+    const double t_gpu = (power_w[kGpu] + g1b * t_board + g1a * ta) / s1;
+    return {t_cpu, t_gpu, t_board};
+}
+
+void ThermalNetwork::reset(double ambient_celsius) {
+    temps_ = {ambient_celsius, ambient_celsius, ambient_celsius};
+}
+
+void ThermalNetwork::reset() {
+    temps_ = params_.initial;
+}
+
+} // namespace lotus::platform

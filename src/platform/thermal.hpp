@@ -1,0 +1,68 @@
+#pragma once
+// Lumped RC thermal network.
+//
+// Three thermal nodes -- CPU die, GPU die and the shared board/chassis --
+// exchange heat through thermal conductances and leak to ambient:
+//
+//      C_i dT_i/dt = P_i + sum_j G_ij (T_j - T_i) + G_i,amb (T_amb - T_i)
+//
+// This captures the two effects the paper's motivation hinges on: thermal
+// *coupling* between CPU and GPU through the board (Sec. 3, "thermal
+// coupling among processors"), and a slow board time constant that makes
+// overheating a delayed consequence of earlier frequency decisions -- the
+// credit-assignment problem the DRL agent must solve.
+
+#include <array>
+#include <cstddef>
+
+namespace lotus::platform {
+
+enum class ThermalNode : std::size_t { cpu = 0, gpu = 1, board = 2 };
+inline constexpr std::size_t kNumThermalNodes = 3;
+
+struct ThermalParams {
+    /// Heat capacities [J/K].
+    std::array<double, kNumThermalNodes> capacity{8.0, 10.0, 70.0};
+    /// Conductance die->board [W/K], indexed by die node (board unused).
+    std::array<double, kNumThermalNodes> g_to_board{0.8, 0.9, 0.0};
+    /// Conductance node->ambient [W/K].
+    std::array<double, kNumThermalNodes> g_to_ambient{0.02, 0.02, 0.22};
+    /// Initial temperatures [deg C].
+    std::array<double, kNumThermalNodes> initial{25.0, 25.0, 25.0};
+    /// Maximum Euler integration sub-step [s].
+    double max_dt = 0.005;
+};
+
+class ThermalNetwork {
+public:
+    explicit ThermalNetwork(ThermalParams params);
+
+    /// Integrate for `dt` seconds with constant node powers [W] (board power
+    /// is usually 0) and the given ambient temperature [deg C]. dt is split
+    /// into sub-steps of at most params.max_dt for stability.
+    void step(double dt, const std::array<double, kNumThermalNodes>& power_w,
+              double ambient_celsius);
+
+    [[nodiscard]] double temperature(ThermalNode n) const noexcept {
+        return temps_[static_cast<std::size_t>(n)];
+    }
+    [[nodiscard]] const std::array<double, kNumThermalNodes>& temperatures() const noexcept {
+        return temps_;
+    }
+
+    /// Closed-form steady-state temperatures for constant power/ambient;
+    /// used by tests and for calibration sanity checks.
+    [[nodiscard]] std::array<double, kNumThermalNodes> steady_state(
+        const std::array<double, kNumThermalNodes>& power_w, double ambient_celsius) const;
+
+    void reset(double ambient_celsius);
+    void reset();
+
+    [[nodiscard]] const ThermalParams& params() const noexcept { return params_; }
+
+private:
+    ThermalParams params_;
+    std::array<double, kNumThermalNodes> temps_{};
+};
+
+} // namespace lotus::platform

@@ -1,0 +1,111 @@
+#include "rl/dqn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lotus::rl {
+
+namespace {
+
+/// Huber loss value and derivative at residual r = prediction - target.
+struct Huber {
+    double value;
+    double grad;
+};
+
+Huber huber(double residual, double delta) noexcept {
+    const double a = std::abs(residual);
+    if (a <= delta) {
+        return {0.5 * residual * residual, residual};
+    }
+    return {delta * (a - 0.5 * delta), residual > 0 ? delta : -delta};
+}
+
+} // namespace
+
+DqnCore::DqnCore(MlpConfig net_config, DqnConfig config)
+    : config_(config),
+      online_(net_config),
+      target_(std::move(net_config)),
+      optimizer_(online_, config.adam) {
+    target_.copy_parameters_from(online_);
+}
+
+int DqnCore::greedy_action(std::span<const double> state, double width) const {
+    const auto q = online_.forward(state, width);
+    const auto it = std::max_element(q.begin(), q.end());
+    return static_cast<int>(std::distance(q.begin(), it));
+}
+
+int DqnCore::act(std::span<const double> state, double width, double epsilon,
+                 util::Rng& rng) const {
+    if (rng.bernoulli(epsilon)) {
+        return static_cast<int>(
+            rng.uniform_int(0, static_cast<std::int64_t>(online_.output_dim()) - 1));
+    }
+    return greedy_action(state, width);
+}
+
+std::vector<double> DqnCore::q_values(std::span<const double> state, double width) const {
+    return online_.forward(state, width);
+}
+
+double DqnCore::train_step(const ReplayBuffer& buffer, util::Rng& rng,
+                           std::size_t min_buffer) {
+    if (buffer.size() < std::max<std::size_t>(min_buffer, 1)) return -1.0;
+    const auto batch = buffer.sample(rng, config_.batch_size);
+    return train_batch(batch);
+}
+
+double DqnCore::train_batch(std::span<const Transition* const> batch) {
+    if (batch.empty()) return -1.0;
+
+    double loss_acc = 0.0;
+    std::vector<double> dout(online_.output_dim(), 0.0);
+    ForwardCache cache;
+    const double inv_n = 1.0 / static_cast<double>(batch.size());
+
+    for (const Transition* t : batch) {
+        double bootstrap = 0.0;
+        if (!t->terminal) {
+            const auto qn = target_.forward(t->next_state, t->width_next);
+            if (config_.double_dqn) {
+                // Decouple selection (online net) from evaluation (target).
+                const auto q_online = online_.forward(t->next_state, t->width_next);
+                const auto a_star = static_cast<std::size_t>(std::distance(
+                    q_online.begin(),
+                    std::max_element(q_online.begin(), q_online.end())));
+                bootstrap = qn[a_star];
+            } else {
+                bootstrap = *std::max_element(qn.begin(), qn.end());
+            }
+        }
+        const double target_q = t->reward + config_.gamma * bootstrap;
+
+        online_.forward_cached(t->state, t->width_state, cache);
+        const auto a = static_cast<std::size_t>(t->action);
+        if (a >= cache.output.size()) {
+            throw std::out_of_range("DqnCore: action index out of range");
+        }
+        const auto [value, grad] = huber(cache.output[a] - target_q, config_.huber_delta);
+        loss_acc += value;
+
+        std::fill(dout.begin(), dout.end(), 0.0);
+        dout[a] = grad * inv_n;
+        online_.backward(cache, dout);
+    }
+
+    optimizer_.step(online_);
+    ++updates_;
+    if (config_.target_sync_every > 0 && updates_ % config_.target_sync_every == 0) {
+        sync_target();
+    }
+    return loss_acc * inv_n;
+}
+
+void DqnCore::sync_target() {
+    target_.copy_parameters_from(online_);
+}
+
+} // namespace lotus::rl

@@ -1,0 +1,77 @@
+#pragma once
+// Generic Deep Q-Network core (Mnih et al. 2015) over a slimmable network.
+//
+// Shared by the zTT baseline (single width, one replay buffer) and the LOTUS
+// agent (two widths, two replay buffers). The core provides epsilon-greedy
+// acting at a given width and batched TD(0) updates with a periodically
+// synchronised target network; transitions carry the widths to use for the
+// online evaluation and the bootstrap, implementing the paper's cross-width
+// targets (even step bootstraps at 1.0x, odd step at 0.75x).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "rl/mlp.hpp"
+#include "rl/optimizer.hpp"
+#include "rl/replay.hpp"
+#include "util/rng.hpp"
+
+namespace lotus::rl {
+
+struct DqnConfig {
+    double gamma = 0.9;
+    std::size_t batch_size = 32;
+    /// Hard-sync the target network every this many optimizer steps.
+    std::size_t target_sync_every = 100;
+    /// Huber (smooth-L1) transition point.
+    double huber_delta = 1.0;
+    /// Double DQN (van Hasselt et al. 2016): the online network selects the
+    /// bootstrap action, the target network evaluates it. Off by default --
+    /// the paper uses the vanilla DQN of Mnih et al. 2015 -- but exposed as
+    /// an extension (see bench_ablation_design).
+    bool double_dqn = false;
+    AdamConfig adam;
+};
+
+class DqnCore {
+public:
+    DqnCore(MlpConfig net_config, DqnConfig config);
+
+    /// Greedy action at the given width: argmax_a Q(s, a).
+    [[nodiscard]] int greedy_action(std::span<const double> state, double width) const;
+
+    /// Epsilon-greedy action.
+    [[nodiscard]] int act(std::span<const double> state, double width, double epsilon,
+                          util::Rng& rng) const;
+
+    /// Q-values of the online network (full action dimension).
+    [[nodiscard]] std::vector<double> q_values(std::span<const double> state,
+                                               double width) const;
+
+    /// One batched TD update from the given buffer. Returns the mean Huber
+    /// loss, or a negative value when the buffer held fewer than
+    /// `min_buffer` transitions (no update performed).
+    double train_step(const ReplayBuffer& buffer, util::Rng& rng,
+                      std::size_t min_buffer = 1);
+
+    /// TD update over an explicit batch (used by LOTUS to alternate buffers).
+    double train_batch(std::span<const Transition* const> batch);
+
+    void sync_target();
+
+    [[nodiscard]] const SlimmableMlp& online() const noexcept { return online_; }
+    [[nodiscard]] SlimmableMlp& online() noexcept { return online_; }
+    [[nodiscard]] const SlimmableMlp& target() const noexcept { return target_; }
+    [[nodiscard]] std::size_t updates() const noexcept { return updates_; }
+    [[nodiscard]] const DqnConfig& config() const noexcept { return config_; }
+
+private:
+    DqnConfig config_;
+    SlimmableMlp online_;
+    SlimmableMlp target_;
+    Adam optimizer_;
+    std::size_t updates_ = 0;
+};
+
+} // namespace lotus::rl

@@ -1,0 +1,62 @@
+#include "rl/layers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lotus::rl {
+
+SlimmableLinear::SlimmableLinear(std::size_t in_features, std::size_t out_features,
+                                 util::Rng& rng)
+    : in_(in_features),
+      out_(out_features),
+      w_(out_features, in_features),
+      b_(out_features, 0.0),
+      gw_(out_features, in_features),
+      gb_(out_features, 0.0),
+      mask_w_(out_features * in_features, 0),
+      mask_b_(out_features, 0) {
+    // Kaiming-uniform init over the *full* fan-in, matching common slimmable
+    // network practice (the shared leading weights see both widths).
+    const double bound = std::sqrt(6.0 / static_cast<double>(in_features));
+    for (auto& v : w_.flat()) v = rng.uniform(-bound, bound);
+}
+
+void SlimmableLinear::forward(std::span<const double> x, std::span<double> y,
+                              std::size_t in_active, std::size_t out_active) const noexcept {
+    Matrix::slice_matvec(w_, x, b_, y, out_active, in_active);
+}
+
+void SlimmableLinear::backward(std::span<const double> x, std::span<const double> dy,
+                               std::span<double> dx, std::size_t in_active,
+                               std::size_t out_active) noexcept {
+    Matrix::slice_matvec_transposed(w_, dy, dx, out_active, in_active);
+    Matrix::slice_outer_accumulate(gw_, dy, x, out_active, in_active);
+    for (std::size_t r = 0; r < out_active; ++r) {
+        gb_[r] += dy[r];
+        mask_b_[r] = 1;
+        std::uint8_t* mrow = mask_w_.data() + r * in_;
+        for (std::size_t c = 0; c < in_active; ++c) mrow[c] = 1;
+    }
+}
+
+void SlimmableLinear::zero_grad() noexcept {
+    gw_.fill(0.0);
+    for (auto& g : gb_) g = 0.0;
+    for (auto& m : mask_w_) m = 0;
+    for (auto& m : mask_b_) m = 0;
+}
+
+void relu_inplace(std::span<double> x, std::size_t active) noexcept {
+    for (std::size_t i = 0; i < active; ++i) {
+        if (x[i] < 0.0) x[i] = 0.0;
+    }
+}
+
+void relu_backward(std::span<const double> pre_activation, std::span<double> dy,
+                   std::size_t active) noexcept {
+    for (std::size_t i = 0; i < active; ++i) {
+        if (pre_activation[i] <= 0.0) dy[i] = 0.0;
+    }
+}
+
+} // namespace lotus::rl

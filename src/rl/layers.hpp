@@ -1,0 +1,77 @@
+#pragma once
+// Slimmable fully-connected layer (Sec. 4.3.4 of the paper).
+//
+// A SlimmableLinear owns a full (out_features x in_features) weight matrix
+// but can execute a forward/backward pass restricted to the leading
+// [0:active_out) x [0:active_in) sub-matrix. LOTUS runs its Q-network at
+// width 0.75x for the frame-start decision (where the proposal count is not
+// yet known) and at 1.0x for the post-RPN decision; both share the leading
+// weights, which is exactly what this slicing implements.
+//
+// Gradients are accumulated into `grad_w` / `grad_b`, and a parallel byte
+// mask records which entries were touched so the optimizer can honour the
+// paper's "the remaining weights are not updated" rule under Adam (whose
+// update is non-zero even for zero gradients).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rl/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace lotus::rl {
+
+class SlimmableLinear {
+public:
+    SlimmableLinear(std::size_t in_features, std::size_t out_features, util::Rng& rng);
+
+    [[nodiscard]] std::size_t in_features() const noexcept { return in_; }
+    [[nodiscard]] std::size_t out_features() const noexcept { return out_; }
+
+    /// y[0:out_active] = W[0:out_active, 0:in_active] x + b. `x` must have at
+    /// least in_active elements, `y` at least out_active.
+    void forward(std::span<const double> x, std::span<double> y,
+                 std::size_t in_active, std::size_t out_active) const noexcept;
+
+    /// Backprop for the same slice. `x` is the input that produced the
+    /// forward pass, `dy` the upstream gradient (length out_active); writes
+    /// `dx` (length in_active), accumulates weight/bias grads and marks the
+    /// touched mask.
+    void backward(std::span<const double> x, std::span<const double> dy,
+                  std::span<double> dx, std::size_t in_active,
+                  std::size_t out_active) noexcept;
+
+    void zero_grad() noexcept;
+
+    // Parameter/grad/mask access for the optimizer and for tests.
+    [[nodiscard]] Matrix& weights() noexcept { return w_; }
+    [[nodiscard]] const Matrix& weights() const noexcept { return w_; }
+    [[nodiscard]] std::span<double> bias() noexcept { return b_; }
+    [[nodiscard]] std::span<const double> bias() const noexcept { return b_; }
+    [[nodiscard]] Matrix& grad_weights() noexcept { return gw_; }
+    [[nodiscard]] std::span<double> grad_bias() noexcept { return gb_; }
+    [[nodiscard]] std::span<const std::uint8_t> weight_mask() const noexcept { return mask_w_; }
+    [[nodiscard]] std::span<std::uint8_t> weight_mask() noexcept { return mask_w_; }
+    [[nodiscard]] std::span<const std::uint8_t> bias_mask() const noexcept { return mask_b_; }
+    [[nodiscard]] std::span<std::uint8_t> bias_mask() noexcept { return mask_b_; }
+
+private:
+    std::size_t in_;
+    std::size_t out_;
+    Matrix w_;
+    std::vector<double> b_;
+    Matrix gw_;
+    std::vector<double> gb_;
+    std::vector<std::uint8_t> mask_w_;
+    std::vector<std::uint8_t> mask_b_;
+};
+
+/// ReLU applied in place over the active prefix.
+void relu_inplace(std::span<double> x, std::size_t active) noexcept;
+
+/// dX = dY * 1[pre-activation > 0] over the active prefix.
+void relu_backward(std::span<const double> pre_activation, std::span<double> dy,
+                   std::size_t active) noexcept;
+
+} // namespace lotus::rl

@@ -1,0 +1,128 @@
+#include "rl/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lotus::rl {
+
+SlimmableMlp::SlimmableMlp(MlpConfig config) : config_(std::move(config)) {
+    if (config_.dims.size() < 2) {
+        throw std::invalid_argument("SlimmableMlp: need at least input and output dims");
+    }
+    for (const auto d : config_.dims) {
+        if (d == 0) throw std::invalid_argument("SlimmableMlp: zero-sized layer");
+    }
+    util::Rng rng(config_.seed);
+    layers_.reserve(config_.dims.size() - 1);
+    for (std::size_t l = 0; l + 1 < config_.dims.size(); ++l) {
+        layers_.emplace_back(config_.dims[l], config_.dims[l + 1], rng);
+    }
+}
+
+std::size_t SlimmableMlp::active_units(std::size_t boundary, double width) const {
+    if (boundary >= config_.dims.size()) {
+        throw std::out_of_range("SlimmableMlp::active_units");
+    }
+    if (width <= 0.0 || width > 1.0) {
+        throw std::invalid_argument("SlimmableMlp: width must be in (0, 1]");
+    }
+    const std::size_t full = config_.dims[boundary];
+    const bool is_input = boundary == 0;
+    const bool is_output = boundary + 1 == config_.dims.size();
+    if ((is_input && !config_.slim_input) || (is_output && !config_.slim_output)) {
+        return full;
+    }
+    const auto active = static_cast<std::size_t>(
+        std::ceil(width * static_cast<double>(full)));
+    return std::clamp<std::size_t>(active, 1, full);
+}
+
+std::vector<double> SlimmableMlp::forward(std::span<const double> x, double width) const {
+    ForwardCache cache;
+    forward_cached(x, width, cache);
+    return std::move(cache.output);
+}
+
+void SlimmableMlp::forward_cached(std::span<const double> x, double width,
+                                  ForwardCache& cache) const {
+    const std::size_t in0 = active_units(0, width);
+    if (x.size() < in0) {
+        throw std::invalid_argument("SlimmableMlp: input too short for active width");
+    }
+    cache.width = width;
+    cache.inputs.assign(layers_.size(), {});
+    cache.pre.assign(layers_.size(), {});
+
+    std::vector<double> cur(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(in0));
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const std::size_t in_active = active_units(l, width);
+        const std::size_t out_active = active_units(l + 1, width);
+        cache.inputs[l] = cur;
+        std::vector<double> next(out_active, 0.0);
+        layers_[l].forward(cur, next, in_active, out_active);
+        cache.pre[l] = next;
+        if (l + 1 < layers_.size()) {
+            relu_inplace(next, out_active);
+        }
+        cur = std::move(next);
+    }
+
+    // Expand to the full output dimension; at full (or non-slim) output width
+    // this is the identity.
+    cache.output.assign(output_dim(), 0.0);
+    std::copy(cur.begin(), cur.end(), cache.output.begin());
+}
+
+void SlimmableMlp::backward(const ForwardCache& cache, std::span<const double> dout) {
+    if (dout.size() != output_dim()) {
+        throw std::invalid_argument("SlimmableMlp::backward: dout size mismatch");
+    }
+    const double width = cache.width;
+    const std::size_t last = layers_.size() - 1;
+
+    std::vector<double> dy(dout.begin(),
+                           dout.begin() + static_cast<std::ptrdiff_t>(
+                               active_units(last + 1, width)));
+    for (std::size_t li = layers_.size(); li-- > 0;) {
+        const std::size_t in_active = active_units(li, width);
+        const std::size_t out_active = active_units(li + 1, width);
+        if (li != last) {
+            relu_backward(cache.pre[li], dy, out_active);
+        }
+        std::vector<double> dx(in_active, 0.0);
+        layers_[li].backward(cache.inputs[li], dy, dx, in_active, out_active);
+        dy = std::move(dx);
+    }
+}
+
+void SlimmableMlp::zero_grad() noexcept {
+    for (auto& layer : layers_) layer.zero_grad();
+}
+
+std::size_t SlimmableMlp::parameter_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& layer : layers_) {
+        n += layer.weights().size() + layer.bias().size();
+    }
+    return n;
+}
+
+void SlimmableMlp::copy_parameters_from(const SlimmableMlp& src) {
+    if (src.layers_.size() != layers_.size()) {
+        throw std::invalid_argument("copy_parameters_from: topology mismatch");
+    }
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        auto& dst_layer = layers_[l];
+        const auto& src_layer = src.layers_[l];
+        if (dst_layer.weights().size() != src_layer.weights().size()) {
+            throw std::invalid_argument("copy_parameters_from: layer shape mismatch");
+        }
+        std::copy(src_layer.weights().flat().begin(), src_layer.weights().flat().end(),
+                  dst_layer.weights().flat().begin());
+        std::copy(src_layer.bias().begin(), src_layer.bias().end(),
+                  dst_layer.bias().begin());
+    }
+}
+
+} // namespace lotus::rl

@@ -1,0 +1,83 @@
+#pragma once
+// Slimmable multi-layer perceptron: the Q-network of Sec. 4.3.4.
+//
+// The paper's Q-network is a 4-layer MLP executable at widths [0.75x, 1.0x].
+// Width w activates ceil(w * n) units in each slimmable layer; the output
+// layer always stays at full width so that every action in the M x N joint
+// frequency space has a Q-value at both widths. The input layer is sliced
+// too: with the paper's 7-feature post-RPN state, ceil(0.75 * 7) = 6 inputs,
+// which drops exactly the proposal-count feature that is unavailable at the
+// frame-start decision.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "rl/layers.hpp"
+#include "util/rng.hpp"
+
+namespace lotus::rl {
+
+struct MlpConfig {
+    /// Layer sizes including input and output, e.g. {7, 128, 128, 128, 48}.
+    std::vector<std::size_t> dims;
+    /// Slice the input layer with the width multiplier (LOTUS: true).
+    bool slim_input = true;
+    /// Slice the output layer (LOTUS: false -- all actions always scored).
+    bool slim_output = false;
+    std::uint64_t seed = 1;
+};
+
+/// Activations captured during forward_cached, needed for backward.
+struct ForwardCache {
+    double width = 1.0;
+    /// inputs[l] is the input vector fed to layer l (active prefix valid).
+    std::vector<std::vector<double>> inputs;
+    /// pre[l] is layer l's pre-activation output (active prefix valid).
+    std::vector<std::vector<double>> pre;
+    /// Final output (full output dimension).
+    std::vector<double> output;
+};
+
+class SlimmableMlp {
+public:
+    explicit SlimmableMlp(MlpConfig config);
+
+    [[nodiscard]] std::size_t input_dim() const noexcept { return config_.dims.front(); }
+    [[nodiscard]] std::size_t output_dim() const noexcept { return config_.dims.back(); }
+    [[nodiscard]] std::size_t num_layers() const noexcept { return layers_.size(); }
+    [[nodiscard]] const MlpConfig& config() const noexcept { return config_; }
+
+    /// Number of active units of the given layer boundary (0 = network
+    /// input, i = output of layer i-1) when run at `width`.
+    [[nodiscard]] std::size_t active_units(std::size_t boundary, double width) const;
+
+    /// Inference-only forward at the given width. `x` must supply at least
+    /// active_units(0, width) elements; the full input vector may be passed
+    /// (extra features are simply not read at reduced width).
+    [[nodiscard]] std::vector<double> forward(std::span<const double> x, double width) const;
+
+    /// Forward pass that records activations for a subsequent backward().
+    void forward_cached(std::span<const double> x, double width, ForwardCache& cache) const;
+
+    /// Accumulate parameter gradients for dL/d(output) = `dout` (full output
+    /// dimension; entries for actions you do not want to train must be 0).
+    void backward(const ForwardCache& cache, std::span<const double> dout);
+
+    void zero_grad() noexcept;
+
+    [[nodiscard]] std::vector<SlimmableLinear>& layers() noexcept { return layers_; }
+    [[nodiscard]] const std::vector<SlimmableLinear>& layers() const noexcept { return layers_; }
+
+    /// Total parameter count (weights + biases), for overhead reporting.
+    [[nodiscard]] std::size_t parameter_count() const noexcept;
+
+    /// Hard-copy the parameters of `src` (used for target-network sync).
+    void copy_parameters_from(const SlimmableMlp& src);
+
+private:
+    MlpConfig config_;
+    std::vector<SlimmableLinear> layers_;
+};
+
+} // namespace lotus::rl

@@ -1,0 +1,101 @@
+#include "rl/optimizer.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace lotus::rl {
+
+CosineLrSchedule::CosineLrSchedule(double lr0, double lr_min, std::size_t total_steps)
+    : lr0_(lr0), lr_min_(lr_min), total_steps_(total_steps) {
+    if (lr0 <= 0.0 || lr_min < 0.0 || lr_min > lr0) {
+        throw std::invalid_argument("CosineLrSchedule: bad rates");
+    }
+    if (total_steps == 0) throw std::invalid_argument("CosineLrSchedule: zero steps");
+}
+
+double CosineLrSchedule::at(std::size_t step) const noexcept {
+    const double t = std::min(static_cast<double>(step), static_cast<double>(total_steps_));
+    const double frac = t / static_cast<double>(total_steps_);
+    return lr_min_ + 0.5 * (lr0_ - lr_min_) * (1.0 + std::cos(std::numbers::pi * frac));
+}
+
+Adam::Adam(const SlimmableMlp& net, AdamConfig config)
+    : config_(config), lr_(config.lr, config.lr_min, config.lr_total_steps) {
+    moments_.reserve(net.layers().size());
+    for (const auto& layer : net.layers()) {
+        Moments m;
+        m.m_w.assign(layer.weights().size(), 0.0);
+        m.v_w.assign(layer.weights().size(), 0.0);
+        m.m_b.assign(layer.bias().size(), 0.0);
+        m.v_b.assign(layer.bias().size(), 0.0);
+        moments_.push_back(std::move(m));
+    }
+}
+
+double Adam::step(SlimmableMlp& net) {
+    if (net.layers().size() != moments_.size()) {
+        throw std::invalid_argument("Adam::step: network topology changed");
+    }
+
+    // Optional global-norm gradient clipping over touched entries.
+    double scale = 1.0;
+    if (config_.grad_clip > 0.0) {
+        double sq = 0.0;
+        for (auto& layer : net.layers()) {
+            const auto gw = layer.grad_weights().flat();
+            const auto mw = layer.weight_mask();
+            for (std::size_t i = 0; i < gw.size(); ++i) {
+                if (mw[i]) sq += gw[i] * gw[i];
+            }
+            const auto gb = layer.grad_bias();
+            const auto mb = layer.bias_mask();
+            for (std::size_t i = 0; i < gb.size(); ++i) {
+                if (mb[i]) sq += gb[i] * gb[i];
+            }
+        }
+        const double norm = std::sqrt(sq);
+        if (norm > config_.grad_clip) scale = config_.grad_clip / norm;
+    }
+
+    ++t_;
+    const double lr = lr_.at(t_);
+    const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+    const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+
+    for (std::size_t li = 0; li < net.layers().size(); ++li) {
+        auto& layer = net.layers()[li];
+        auto& mom = moments_[li];
+
+        auto w = layer.weights().flat();
+        auto gw = layer.grad_weights().flat();
+        const auto mw = layer.weight_mask();
+        for (std::size_t i = 0; i < w.size(); ++i) {
+            if (!mw[i]) continue;
+            const double g = gw[i] * scale;
+            mom.m_w[i] = config_.beta1 * mom.m_w[i] + (1.0 - config_.beta1) * g;
+            mom.v_w[i] = config_.beta2 * mom.v_w[i] + (1.0 - config_.beta2) * g * g;
+            const double mhat = mom.m_w[i] / bc1;
+            const double vhat = mom.v_w[i] / bc2;
+            w[i] -= lr * mhat / (std::sqrt(vhat) + config_.epsilon);
+        }
+
+        auto b = layer.bias();
+        auto gb = layer.grad_bias();
+        const auto mb = layer.bias_mask();
+        for (std::size_t i = 0; i < b.size(); ++i) {
+            if (!mb[i]) continue;
+            const double g = gb[i] * scale;
+            mom.m_b[i] = config_.beta1 * mom.m_b[i] + (1.0 - config_.beta1) * g;
+            mom.v_b[i] = config_.beta2 * mom.v_b[i] + (1.0 - config_.beta2) * g * g;
+            const double mhat = mom.m_b[i] / bc1;
+            const double vhat = mom.v_b[i] / bc2;
+            b[i] -= lr * mhat / (std::sqrt(vhat) + config_.epsilon);
+        }
+    }
+
+    net.zero_grad();
+    return lr;
+}
+
+} // namespace lotus::rl

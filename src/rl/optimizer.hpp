@@ -1,0 +1,67 @@
+#pragma once
+// Adam optimizer with cosine learning-rate decay (Sec. 4.4.1: Adam with
+// beta1 = 0.9, beta2 = 0.99, lr = 0.01 with cosine decay).
+//
+// The step() honours the per-parameter "touched" masks produced by the
+// slimmable backward pass: untouched parameters keep their exact values, as
+// the paper requires for reduced-width updates ("the remaining weights are
+// not updated").
+
+#include <cstddef>
+#include <vector>
+
+#include "rl/mlp.hpp"
+
+namespace lotus::rl {
+
+/// lr(t) = lr_min + 0.5 (lr0 - lr_min) (1 + cos(pi * t / T)), clamped at T.
+class CosineLrSchedule {
+public:
+    CosineLrSchedule(double lr0, double lr_min, std::size_t total_steps);
+
+    [[nodiscard]] double at(std::size_t step) const noexcept;
+
+    [[nodiscard]] double initial() const noexcept { return lr0_; }
+    [[nodiscard]] double floor() const noexcept { return lr_min_; }
+
+private:
+    double lr0_;
+    double lr_min_;
+    std::size_t total_steps_;
+};
+
+struct AdamConfig {
+    double lr = 0.01;
+    double lr_min = 1e-4;
+    std::size_t lr_total_steps = 10'000; // paper trains 10,000 iterations
+    double beta1 = 0.9;
+    double beta2 = 0.99;
+    double epsilon = 1e-8;
+    /// Global-norm gradient clip; <= 0 disables.
+    double grad_clip = 10.0;
+};
+
+class Adam {
+public:
+    /// The optimizer sizes its moment buffers from the network topology.
+    Adam(const SlimmableMlp& net, AdamConfig config);
+
+    /// Apply one update using the gradients (and touched masks) accumulated
+    /// in `net`, then clear them. Returns the learning rate used.
+    double step(SlimmableMlp& net);
+
+    [[nodiscard]] std::size_t steps_taken() const noexcept { return t_; }
+    [[nodiscard]] const AdamConfig& config() const noexcept { return config_; }
+
+private:
+    struct Moments {
+        std::vector<double> m_w, v_w, m_b, v_b;
+    };
+
+    AdamConfig config_;
+    CosineLrSchedule lr_;
+    std::vector<Moments> moments_;
+    std::size_t t_ = 0;
+};
+
+} // namespace lotus::rl

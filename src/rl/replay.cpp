@@ -1,0 +1,37 @@
+#include "rl/replay.hpp"
+
+#include <stdexcept>
+
+namespace lotus::rl {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
+    if (capacity_ == 0) throw std::invalid_argument("ReplayBuffer: zero capacity");
+    store_.reserve(capacity_);
+}
+
+void ReplayBuffer::push(Transition t) {
+    if (store_.size() < capacity_) {
+        store_.push_back(std::move(t));
+    } else {
+        store_[head_] = std::move(t);
+        head_ = (head_ + 1) % capacity_;
+    }
+    ++pushed_;
+}
+
+std::vector<const Transition*> ReplayBuffer::sample(util::Rng& rng, std::size_t k) const {
+    if (store_.empty()) return {};
+    k = std::min(k, store_.size());
+    const auto idx = rng.sample_indices(store_.size(), k);
+    std::vector<const Transition*> out;
+    out.reserve(k);
+    for (const auto i : idx) out.push_back(&store_[i]);
+    return out;
+}
+
+void ReplayBuffer::clear() noexcept {
+    store_.clear();
+    head_ = 0;
+}
+
+} // namespace lotus::rl

@@ -1,0 +1,195 @@
+#include "runtime/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lotus::runtime {
+
+namespace {
+/// Work below this many ops/bytes is considered finished (guards against
+/// floating-point residue in the integration loop).
+constexpr double kWorkEpsilon = 1.0;
+} // namespace
+
+InferenceEngine::InferenceEngine(platform::EdgeDevice& device, EngineConfig config)
+    : device_(device), cfg_(config) {
+    if (cfg_.max_slice_s <= 0.0) {
+        throw std::invalid_argument("InferenceEngine: max_slice_s must be > 0");
+    }
+}
+
+void InferenceEngine::reset() {
+    last_latency_ = 0.0;
+    tick_initialized_ = false;
+    next_tick_due_ = 0.0;
+}
+
+governors::Observation InferenceEngine::make_observation(std::size_t iteration,
+                                                         double constraint_s,
+                                                         double elapsed_s,
+                                                         int proposals) const {
+    governors::Observation obs;
+    obs.iteration = iteration;
+    obs.now_s = device_.now();
+    obs.cpu_temp = device_.cpu_temp();
+    obs.gpu_temp = device_.gpu_temp();
+    obs.cpu_level = device_.cpu_level();
+    obs.gpu_level = device_.gpu_level();
+    obs.cpu_levels = device_.cpu_levels();
+    obs.gpu_levels = device_.gpu_levels();
+    obs.latency_constraint_s = constraint_s;
+    obs.last_frame_latency_s = last_latency_;
+    obs.elapsed_in_frame_s = elapsed_s;
+    obs.proposals = proposals;
+    obs.throttled = device_.throttled();
+    return obs;
+}
+
+void InferenceEngine::apply(const governors::LevelRequest& request) {
+    if (!request.has_request) return;
+    device_.request_levels(std::min(request.cpu, device_.cpu_levels() - 1),
+                           std::min(request.gpu, device_.gpu_levels() - 1));
+}
+
+void InferenceEngine::charge_decision_overhead(governors::Governor& governor) {
+    const double overhead = governor.decision_overhead_s();
+    if (overhead > 0.0) {
+        // The device idles while the observation travels to the agent and
+        // the action comes back (socket + Q-network, Sec. 4.4.2).
+        advance_slice(overhead, cfg_.idle_cpu_util, 0.0, governor);
+    }
+}
+
+void InferenceEngine::advance_slice(double h, double cpu_util, double gpu_util,
+                                    governors::Governor& governor) {
+    device_.advance(h, cpu_util, gpu_util);
+    frame_saw_throttle_ = frame_saw_throttle_ || device_.throttled();
+
+    const double interval = governor.tick_interval_s();
+    if (interval <= 0.0) return;
+    if (!tick_initialized_) {
+        next_tick_due_ = device_.now() + interval;
+        tick_initialized_ = true;
+        return;
+    }
+    while (device_.now() >= next_tick_due_) {
+        governors::TickObservation tick;
+        tick.now_s = device_.now();
+        tick.dt_s = interval;
+        tick.cpu_util = cpu_util;
+        tick.gpu_util = gpu_util;
+        tick.cpu_temp = device_.cpu_temp();
+        tick.gpu_temp = device_.gpu_temp();
+        tick.cpu_level = device_.cpu_level();
+        tick.gpu_level = device_.gpu_level();
+        tick.cpu_levels = device_.cpu_levels();
+        tick.gpu_levels = device_.gpu_levels();
+        apply(governor.on_tick(tick));
+        next_tick_due_ += interval;
+    }
+}
+
+void InferenceEngine::execute_cpu_work(double ops, governors::Governor& governor) {
+    while (ops > kWorkEpsilon) {
+        const double throughput = device_.cpu_throughput();
+        const double t_need = ops / throughput;
+        const double h = std::min(t_need, cfg_.max_slice_s);
+        advance_slice(h, 1.0, 0.0, governor);
+        ops -= h * throughput;
+    }
+}
+
+void InferenceEngine::execute_gpu_work(double ops, double bytes,
+                                       governors::Governor& governor) {
+    while (ops > kWorkEpsilon || bytes > kWorkEpsilon) {
+        const double throughput = device_.gpu_throughput();
+        const double bw = device_.mem_bandwidth();
+        const double t_need = ops / throughput + bytes / bw;
+        const double h = std::min(t_need, cfg_.max_slice_s);
+        const double frac = h / t_need;
+        advance_slice(h, cfg_.cpu_util_during_gpu, 1.0, governor);
+        ops -= ops * frac;
+        bytes -= bytes * frac;
+    }
+}
+
+FrameResult InferenceEngine::run_frame(const detector::DetectorModel& model,
+                                       const workload::FrameSample& frame,
+                                       governors::Governor& governor,
+                                       double latency_constraint_s, std::size_t iteration) {
+    if (latency_constraint_s <= 0.0) {
+        throw std::invalid_argument("run_frame: latency constraint must be > 0");
+    }
+
+    FrameResult result;
+    result.iteration = iteration;
+    result.start_time_s = device_.now();
+    result.constraint_s = latency_constraint_s;
+    result.proposals_raw = frame.proposals;
+    frame_saw_throttle_ = device_.throttled();
+
+    const double t0 = device_.now();
+    const double e0 = device_.energy_joules();
+
+    // --- decision 1: frame start (s_2i) ------------------------------------
+    const auto obs_start = make_observation(iteration, latency_constraint_s, 0.0, -1);
+    const auto req_start = governor.on_frame_start(obs_start);
+    charge_decision_overhead(governor);
+    apply(req_start);
+    result.cpu_level_stage1 = device_.cpu_level();
+    result.gpu_level_stage1 = device_.gpu_level();
+
+    // --- stage 1: pre-processing -> backbone -> RPN -------------------------
+    for (const auto& component :
+         model.stage1_components(frame.resolution_scale, frame.complexity)) {
+        execute_cpu_work(component.cpu_ops * frame.jitter, governor);
+        execute_gpu_work(component.gpu_ops * frame.jitter, component.mem_bytes * frame.jitter,
+                         governor);
+    }
+    result.stage1_s = device_.now() - t0;
+
+    // --- decision 2: post-RPN (s_2i+1, proposals known) ---------------------
+    const int proposals_used = model.clamp_proposals(frame.proposals);
+    result.proposals_used = proposals_used;
+    if (model.is_two_stage()) {
+        const auto obs_rpn = make_observation(iteration, latency_constraint_s,
+                                              device_.now() - t0, proposals_used);
+        const auto req_rpn = governor.on_post_rpn(obs_rpn);
+        charge_decision_overhead(governor);
+        apply(req_rpn);
+    }
+    result.cpu_level_stage2 = device_.cpu_level();
+    result.gpu_level_stage2 = device_.gpu_level();
+
+    // --- stage 2: RoI head (+mask) -> post-processing -----------------------
+    for (const auto& component : model.stage2_components(proposals_used)) {
+        execute_cpu_work(component.cpu_ops * frame.jitter, governor);
+        execute_gpu_work(component.gpu_ops * frame.jitter, component.mem_bytes * frame.jitter,
+                         governor);
+    }
+
+    result.latency_s = device_.now() - t0;
+    result.stage2_s = result.latency_s - result.stage1_s;
+    result.cpu_temp = device_.cpu_temp();
+    result.gpu_temp = device_.gpu_temp();
+    result.energy_j = device_.energy_joules() - e0;
+    result.throttled = frame_saw_throttle_;
+
+    governors::FrameOutcome outcome;
+    outcome.iteration = iteration;
+    outcome.latency_s = result.latency_s;
+    outcome.stage1_latency_s = result.stage1_s;
+    outcome.stage2_latency_s = result.stage2_s;
+    outcome.proposals = proposals_used;
+    outcome.cpu_temp = result.cpu_temp;
+    outcome.gpu_temp = result.gpu_temp;
+    outcome.latency_constraint_s = latency_constraint_s;
+    outcome.throttled = result.throttled;
+    outcome.energy_j = result.energy_j;
+    governor.on_frame_end(outcome);
+
+    last_latency_ = result.latency_s;
+    return result;
+}
+
+} // namespace lotus::runtime

@@ -1,0 +1,87 @@
+#pragma once
+// InferenceEngine: executes detector frames on the simulated device.
+//
+// The engine is the "client" side of the paper's architecture: it runs the
+// detector pipeline stage by stage, calls the governor at the two decision
+// points (frame start, post-RPN), charges agent communication overhead to
+// the frame, and fires kernel ticks for timer-driven governors. Work is
+// integrated in small time slices so that DVFS changes (from governor ticks
+// or the thermal throttler) take effect *mid-stage*, exactly as they do on
+// hardware.
+
+#include <cstddef>
+
+#include "detector/model.hpp"
+#include "governors/governor.hpp"
+#include "platform/device.hpp"
+#include "workload/dataset.hpp"
+
+namespace lotus::runtime {
+
+struct EngineConfig {
+    /// Maximum work-integration slice [s]; bounds the error of frequency
+    /// changes landing mid-slice.
+    double max_slice_s = 0.02;
+    /// CPU utilization while the GPU executes (host thread, kernel launches).
+    double cpu_util_during_gpu = 0.15;
+    /// CPU utilization while idle / waiting for the agent.
+    double idle_cpu_util = 0.05;
+};
+
+struct FrameResult {
+    std::size_t iteration = 0;
+    double start_time_s = 0.0;
+    double latency_s = 0.0;
+    double stage1_s = 0.0;
+    double stage2_s = 0.0;
+    int proposals_raw = 0;
+    int proposals_used = 0;
+    double cpu_temp = 0.0; // at frame end
+    double gpu_temp = 0.0;
+    std::size_t cpu_level_stage1 = 0;
+    std::size_t gpu_level_stage1 = 0;
+    std::size_t cpu_level_stage2 = 0;
+    std::size_t gpu_level_stage2 = 0;
+    double energy_j = 0.0;
+    bool throttled = false;
+    double constraint_s = 0.0;
+};
+
+class InferenceEngine {
+public:
+    InferenceEngine(platform::EdgeDevice& device, EngineConfig config = {});
+
+    /// Execute one frame under the given governor and latency constraint.
+    FrameResult run_frame(const detector::DetectorModel& model,
+                          const workload::FrameSample& frame, governors::Governor& governor,
+                          double latency_constraint_s, std::size_t iteration);
+
+    /// Forget cross-frame state (last latency, tick phase); used between the
+    /// pre-training and measured phases of an experiment.
+    void reset();
+
+    [[nodiscard]] double last_frame_latency_s() const noexcept { return last_latency_; }
+    [[nodiscard]] const EngineConfig& config() const noexcept { return cfg_; }
+
+private:
+    [[nodiscard]] governors::Observation make_observation(std::size_t iteration,
+                                                          double constraint_s,
+                                                          double elapsed_s,
+                                                          int proposals) const;
+    void apply(const governors::LevelRequest& request);
+    void charge_decision_overhead(governors::Governor& governor);
+    /// Advance device by h while tracking ticks and the throttle flag.
+    void advance_slice(double h, double cpu_util, double gpu_util,
+                       governors::Governor& governor);
+    void execute_cpu_work(double ops, governors::Governor& governor);
+    void execute_gpu_work(double ops, double bytes, governors::Governor& governor);
+
+    platform::EdgeDevice& device_;
+    EngineConfig cfg_;
+    double last_latency_ = 0.0;
+    double next_tick_due_ = 0.0;
+    bool tick_initialized_ = false;
+    bool frame_saw_throttle_ = false;
+};
+
+} // namespace lotus::runtime

@@ -1,0 +1,48 @@
+#pragma once
+// Minimal CSV emission for bench/experiment traces.
+//
+// Benches print human-readable tables to stdout; when the LOTUS_BENCH_CSV
+// environment variable is set they additionally dump raw per-iteration
+// traces with this writer so figures can be re-plotted externally.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace lotus::util {
+
+/// Streaming CSV writer. Quotes fields only when needed (comma, quote,
+/// newline). The header is written on construction.
+class CsvWriter {
+public:
+    CsvWriter(const std::string& path, std::vector<std::string> header);
+
+    CsvWriter(const CsvWriter&) = delete;
+    CsvWriter& operator=(const CsvWriter&) = delete;
+
+    /// Append one row; must match the header arity.
+    void row(const std::vector<std::string>& fields);
+
+    /// Convenience overload for all-numeric rows.
+    void row(const std::vector<double>& fields);
+
+    [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+    /// True when the underlying stream is healthy.
+    [[nodiscard]] bool good() const { return out_.good(); }
+
+private:
+    void write_fields(const std::vector<std::string>& fields);
+
+    std::ofstream out_;
+    std::size_t arity_;
+    std::size_t rows_ = 0;
+};
+
+/// Escape a single CSV field per RFC 4180 (quote iff necessary).
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+/// Format a double with fixed precision, trimming trailing zeros.
+[[nodiscard]] std::string format_double(double v, int precision = 4);
+
+} // namespace lotus::util

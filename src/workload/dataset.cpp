@@ -1,0 +1,85 @@
+#include "workload/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lotus::workload {
+
+DatasetSpec kitti() {
+    DatasetSpec spec;
+    spec.name = "KITTI";
+    spec.resolution_scale = 1.0;       // calibration resolution (1242x375)
+    spec.proposal_log_mean = std::log(120.0);
+    spec.proposal_log_sigma = 0.62;
+    spec.proposal_min = 10;
+    spec.proposal_max = 620;
+    spec.ar1_rho = 0.85;
+    spec.complexity_sigma = 0.03;
+    spec.jitter_sigma = 0.02;
+    return spec;
+}
+
+DatasetSpec visdrone2019() {
+    DatasetSpec spec;
+    spec.name = "VisDrone2019";
+    spec.resolution_scale = 1.55;      // ~2000x1500 aerial imagery
+    spec.proposal_log_mean = std::log(280.0);
+    spec.proposal_log_sigma = 0.50;
+    spec.proposal_min = 20;
+    spec.proposal_max = 680;
+    spec.ar1_rho = 0.85;
+    spec.complexity_sigma = 0.04;
+    spec.jitter_sigma = 0.025;
+    return spec;
+}
+
+DatasetSpec dataset_by_name(const std::string& name) {
+    if (name == "KITTI" || name == "kitti") return kitti();
+    if (name == "VisDrone2019" || name == "visdrone2019" || name == "visdrone") {
+        return visdrone2019();
+    }
+    throw std::invalid_argument("dataset_by_name: unknown dataset " + name);
+}
+
+FrameStream::FrameStream(DatasetSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), rng_(seed) {
+    if (spec_.proposal_min < 0 || spec_.proposal_max <= spec_.proposal_min) {
+        throw std::invalid_argument("FrameStream: bad proposal bounds");
+    }
+    if (spec_.ar1_rho < 0.0 || spec_.ar1_rho >= 1.0) {
+        throw std::invalid_argument("FrameStream: ar1_rho out of [0,1)");
+    }
+}
+
+FrameSample FrameStream::next() {
+    // AR(1) with unit stationary variance: x_t = rho x_{t-1} + sqrt(1-rho^2) e_t.
+    const double innovation = rng_.normal();
+    if (!ar_initialized_) {
+        ar_state_ = innovation;
+        ar_initialized_ = true;
+    } else {
+        ar_state_ = spec_.ar1_rho * ar_state_ +
+                    std::sqrt(1.0 - spec_.ar1_rho * spec_.ar1_rho) * innovation;
+    }
+
+    const double raw = std::exp(spec_.proposal_log_mean + spec_.proposal_log_sigma * ar_state_);
+    const int proposals = std::clamp(static_cast<int>(std::lround(raw)),
+                                     spec_.proposal_min, spec_.proposal_max);
+
+    FrameSample s;
+    s.index = count_++;
+    s.resolution_scale = spec_.resolution_scale;
+    s.complexity = std::max(0.5, rng_.normal(1.0, spec_.complexity_sigma));
+    s.proposals = proposals;
+    s.jitter = rng_.lognormal(0.0, spec_.jitter_sigma);
+    return s;
+}
+
+double FrameStream::expected_proposals() const noexcept {
+    // Mean of the (unclamped) log-normal marginal.
+    return std::exp(spec_.proposal_log_mean +
+                    0.5 * spec_.proposal_log_sigma * spec_.proposal_log_sigma);
+}
+
+} // namespace lotus::workload

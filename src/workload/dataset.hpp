@@ -1,0 +1,79 @@
+#pragma once
+// Dataset workload models.
+//
+// The controller never sees pixels; what couples the dataset to the control
+// problem is (a) the input resolution (scales stage-1 work) and (b) the
+// distribution of RPN proposal counts across frames (scales stage-2 work).
+// Each dataset is modelled as a log-normal proposal-count process with AR(1)
+// temporal correlation -- consecutive frames of a driving/drone video look
+// alike, so proposal counts drift rather than jump. Per-frame multiplicative
+// jitter models OS/scheduling noise on top.
+
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace lotus::workload {
+
+/// Everything the inference engine needs to know about one frame.
+struct FrameSample {
+    std::size_t index = 0;
+    /// Resolution factor relative to the calibration resolution.
+    double resolution_scale = 1.0;
+    /// Scene-complexity multiplier on backbone/RPN work (~1 +- a few %).
+    double complexity = 1.0;
+    /// Raw RPN proposal count before the detector's top-N clamp.
+    int proposals = 0;
+    /// Multiplicative OS-noise jitter applied to every stage latency.
+    double jitter = 1.0;
+};
+
+struct DatasetSpec {
+    std::string name;
+    /// Stage-1 work multiplier vs the calibration resolution.
+    double resolution_scale = 1.0;
+    /// log-normal proposal marginal: exp(N(log_mean, log_sigma)).
+    double proposal_log_mean = 4.8;
+    double proposal_log_sigma = 0.5;
+    int proposal_min = 8;
+    int proposal_max = 700;
+    /// AR(1) coefficient of the underlying normal process.
+    double ar1_rho = 0.85;
+    /// Std of the complexity multiplier (mean 1).
+    double complexity_sigma = 0.03;
+    /// Sigma of the log-normal latency jitter (mean ~1).
+    double jitter_sigma = 0.02;
+};
+
+/// KITTI (autonomous driving, 1242x375): moderate object counts.
+[[nodiscard]] DatasetSpec kitti();
+
+/// VisDrone2019 (drone imagery, high resolution, many small objects):
+/// larger inputs and substantially more proposals with a heavier tail.
+[[nodiscard]] DatasetSpec visdrone2019();
+
+[[nodiscard]] DatasetSpec dataset_by_name(const std::string& name);
+
+/// Stateful generator of FrameSamples for one dataset (owns the AR(1)
+/// state). Deterministic for a given (spec, seed).
+class FrameStream {
+public:
+    FrameStream(DatasetSpec spec, std::uint64_t seed);
+
+    [[nodiscard]] FrameSample next();
+
+    [[nodiscard]] const DatasetSpec& spec() const noexcept { return spec_; }
+    [[nodiscard]] std::size_t frames_emitted() const noexcept { return count_; }
+
+    /// Expected proposal count of the stationary marginal (for tests).
+    [[nodiscard]] double expected_proposals() const noexcept;
+
+private:
+    DatasetSpec spec_;
+    util::Rng rng_;
+    double ar_state_ = 0.0; // standardized AR(1) state
+    bool ar_initialized_ = false;
+    std::size_t count_ = 0;
+};
+
+} // namespace lotus::workload

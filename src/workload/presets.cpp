@@ -1,0 +1,76 @@
+#include "workload/presets.hpp"
+
+#include <stdexcept>
+
+namespace lotus::workload {
+
+namespace {
+
+[[nodiscard]] bool is_orin(const std::string& device) {
+    return device.find("orin") != std::string::npos;
+}
+
+[[nodiscard]] bool is_mi11(const std::string& device) {
+    return device.find("mi-11") != std::string::npos ||
+           device.find("mi11") != std::string::npos;
+}
+
+[[nodiscard]] bool is_kitti(const std::string& dataset) {
+    return dataset == "KITTI" || dataset == "kitti";
+}
+
+[[nodiscard]] bool is_visdrone(const std::string& dataset) {
+    return dataset.rfind("VisDrone", 0) == 0 || dataset.rfind("visdrone", 0) == 0;
+}
+
+} // namespace
+
+double latency_constraint_s(const std::string& device_name,
+                            detector::DetectorKind detector,
+                            const std::string& dataset_name) {
+    using detector::DetectorKind;
+    const bool kitti_ds = is_kitti(dataset_name);
+    if (!kitti_ds && !is_visdrone(dataset_name)) {
+        throw std::invalid_argument("latency_constraint_s: unknown dataset " + dataset_name);
+    }
+
+    if (is_orin(device_name)) {
+        switch (detector) {
+            case DetectorKind::faster_rcnn: return kitti_ds ? 0.450 : 0.590;
+            case DetectorKind::mask_rcnn: return kitti_ds ? 0.520 : 0.760;
+            case DetectorKind::yolo_v5: return kitti_ds ? 0.160 : 0.260;
+        }
+    }
+    if (is_mi11(device_name)) {
+        switch (detector) {
+            case DetectorKind::faster_rcnn: return kitti_ds ? 1.650 : 3.000;
+            case DetectorKind::mask_rcnn: return kitti_ds ? 2.200 : 3.200;
+            case DetectorKind::yolo_v5: return kitti_ds ? 0.600 : 1.000;
+        }
+    }
+    throw std::invalid_argument("latency_constraint_s: unknown device " + device_name);
+}
+
+double map50(detector::DetectorKind detector, const std::string& dataset_name) {
+    using detector::DetectorKind;
+    // Constants read from the paper's Fig. 1 mAP@0.5 panels: two-stage
+    // detectors outscore YOLOv5 on both datasets, with a larger margin on
+    // VisDrone's small-object aerial imagery.
+    if (is_kitti(dataset_name)) {
+        switch (detector) {
+            case DetectorKind::faster_rcnn: return 76.3;
+            case DetectorKind::mask_rcnn: return 79.5;
+            case DetectorKind::yolo_v5: return 66.8;
+        }
+    }
+    if (is_visdrone(dataset_name)) {
+        switch (detector) {
+            case DetectorKind::faster_rcnn: return 52.1;
+            case DetectorKind::mask_rcnn: return 57.9;
+            case DetectorKind::yolo_v5: return 34.5;
+        }
+    }
+    throw std::invalid_argument("map50: unknown dataset " + dataset_name);
+}
+
+} // namespace lotus::workload

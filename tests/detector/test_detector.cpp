@@ -1,0 +1,241 @@
+// Tests for the detector work models: the 80/20 stage split, the Fig. 2
+// proposal->latency slopes, and the one-stage/two-stage contrast of Fig. 1.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detector/model.hpp"
+#include "platform/presets.hpp"
+
+namespace lotus::detector {
+namespace {
+
+struct Throughputs {
+    double cpu;
+    double gpu;
+    double mem;
+};
+
+Throughputs orin_max() {
+    const auto spec = platform::orin_nano_spec();
+    return {spec.cpu.opp.max_freq() * spec.cpu.ops_per_cycle,
+            spec.gpu.opp.max_freq() * spec.gpu.ops_per_cycle, spec.mem_bandwidth};
+}
+
+double stage1_ms(const DetectorModel& m, const Throughputs& t, double res = 1.0) {
+    return latency_seconds(m.stage1_total(res, 1.0), t.cpu, t.gpu, t.mem) * 1e3;
+}
+
+double stage2_ms(const DetectorModel& m, const Throughputs& t, int proposals) {
+    return latency_seconds(m.stage2_total(proposals), t.cpu, t.gpu, t.mem) * 1e3;
+}
+
+TEST(WorkItem, Arithmetic) {
+    WorkItem a{1, 2, 3};
+    WorkItem b{10, 20, 30};
+    const auto c = a + b;
+    EXPECT_DOUBLE_EQ(c.cpu_ops, 11);
+    EXPECT_DOUBLE_EQ(c.gpu_ops, 22);
+    EXPECT_DOUBLE_EQ(c.mem_bytes, 33);
+    const auto d = a.scaled(2.0);
+    EXPECT_DOUBLE_EQ(d.gpu_ops, 4);
+    EXPECT_TRUE(WorkItem{}.empty());
+    EXPECT_FALSE(a.empty());
+}
+
+TEST(WorkItem, LatencyRoofline) {
+    WorkItem w{100, 1000, 500};
+    EXPECT_DOUBLE_EQ(latency_seconds(w, 10, 100, 50), 10.0 + 10.0 + 10.0);
+    // Memory term ignores compute throughput (no scaling with f).
+    EXPECT_DOUBLE_EQ(latency_seconds(w, 10, 1e18, 50), 10.0 + 10.0 + 1e-15);
+}
+
+TEST(DetectorZoo, KindsAndNames) {
+    EXPECT_EQ(faster_rcnn_r50().kind(), DetectorKind::faster_rcnn);
+    EXPECT_EQ(mask_rcnn_r50().kind(), DetectorKind::mask_rcnn);
+    EXPECT_EQ(yolov5s().kind(), DetectorKind::yolo_v5);
+    EXPECT_TRUE(faster_rcnn_r50().is_two_stage());
+    EXPECT_TRUE(mask_rcnn_r50().is_two_stage());
+    EXPECT_FALSE(yolov5s().is_two_stage());
+    EXPECT_STREQ(to_string(DetectorKind::faster_rcnn), "FasterRCNN");
+    EXPECT_STREQ(to_string(DetectorKind::mask_rcnn), "MaskRCNN");
+    EXPECT_STREQ(to_string(DetectorKind::yolo_v5), "YOLOv5");
+}
+
+TEST(DetectorZoo, MakeDetectorDispatch) {
+    for (const auto kind : {DetectorKind::faster_rcnn, DetectorKind::mask_rcnn,
+                            DetectorKind::yolo_v5}) {
+        EXPECT_EQ(make_detector(kind).kind(), kind);
+    }
+}
+
+TEST(DetectorModel, ProposalClamp) {
+    const auto m = faster_rcnn_r50();
+    EXPECT_EQ(m.clamp_proposals(-5), 0);
+    EXPECT_EQ(m.clamp_proposals(100), 100);
+    EXPECT_EQ(m.clamp_proposals(10000), m.max_proposals());
+}
+
+TEST(DetectorModel, Stage1ScalesWithResolution) {
+    const auto m = faster_rcnn_r50();
+    const auto t = orin_max();
+    const double base = stage1_ms(m, t, 1.0);
+    const double hires = stage1_ms(m, t, 1.55);
+    EXPECT_NEAR(hires / base, 1.55, 0.01);
+}
+
+TEST(DetectorModel, Stage1ScalesWithComplexity) {
+    const auto m = faster_rcnn_r50();
+    const auto t = orin_max();
+    const double lo = latency_seconds(m.stage1_total(1.0, 0.9), t.cpu, t.gpu, t.mem);
+    const double hi = latency_seconds(m.stage1_total(1.0, 1.1), t.cpu, t.gpu, t.mem);
+    EXPECT_GT(hi, lo);
+}
+
+TEST(DetectorModel, InvalidResolutionThrows) {
+    const auto m = faster_rcnn_r50();
+    EXPECT_THROW((void)m.stage1_components(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(PaperCalibration, Stage1CarriesAbout80Percent) {
+    // Sec. 4.2: "the latency of the first stage ... takes about 80% of the
+    // entire model latency" at fixed frequency.
+    const auto t = orin_max();
+    for (const auto kind : {DetectorKind::faster_rcnn, DetectorKind::mask_rcnn}) {
+        const auto m = make_detector(kind);
+        const double s1 = stage1_ms(m, t);
+        const double s2 = stage2_ms(m, t, 120); // typical KITTI proposal count
+        const double share = s1 / (s1 + s2);
+        EXPECT_GT(share, 0.70) << m.name();
+        EXPECT_LT(share, 0.92) << m.name();
+    }
+}
+
+TEST(PaperCalibration, Stage2AffineInProposals) {
+    const auto t = orin_max();
+    const auto m = faster_rcnn_r50();
+    const double at0 = stage2_ms(m, t, 0);
+    const double at200 = stage2_ms(m, t, 200);
+    const double at400 = stage2_ms(m, t, 400);
+    // Equal increments -> equal latency deltas (affine model).
+    EXPECT_NEAR(at400 - at200, at200 - at0, 1e-9);
+    EXPECT_GT(at200, at0);
+}
+
+TEST(PaperCalibration, Fig2FasterRcnnRange) {
+    // Fig. 2 (FasterRCNN): second-stage latency grows from ~20 ms to
+    // ~100 ms over 0..600 proposals at a fixed frequency.
+    const auto t = orin_max();
+    const auto m = faster_rcnn_r50();
+    EXPECT_GT(stage2_ms(m, t, 0), 5.0);
+    EXPECT_LT(stage2_ms(m, t, 0), 40.0);
+    EXPECT_GT(stage2_ms(m, t, 600), 80.0);
+    EXPECT_LT(stage2_ms(m, t, 600), 160.0);
+}
+
+TEST(PaperCalibration, Fig2MaskRcnnSteeperSlope) {
+    // Fig. 2 (MaskRCNN): ~200 ms at 300 proposals -- the per-proposal mask
+    // head makes the slope several times FasterRCNN's.
+    const auto t = orin_max();
+    const auto fr = faster_rcnn_r50();
+    const auto mr = mask_rcnn_r50();
+    const double slope_fr = (stage2_ms(fr, t, 300) - stage2_ms(fr, t, 0)) / 300.0;
+    const double slope_mr = (stage2_ms(mr, t, 300) - stage2_ms(mr, t, 0)) / 300.0;
+    EXPECT_GT(slope_mr / slope_fr, 2.5);
+    EXPECT_GT(stage2_ms(mr, t, 300), 120.0);
+    EXPECT_LT(stage2_ms(mr, t, 300), 260.0);
+}
+
+TEST(PaperCalibration, MaskRcnnCapsProposalsAt300) {
+    // Fig. 2's MaskRCNN x-axis tops out at 300.
+    EXPECT_EQ(mask_rcnn_r50().max_proposals(), 300);
+    EXPECT_GE(faster_rcnn_r50().max_proposals(), 600);
+}
+
+TEST(PaperCalibration, AbsoluteLatencyScaleOrinKitti) {
+    // Table 1's KITTI FasterRCNN column is ~340-440 ms; at max frequency the
+    // un-throttled model should come in somewhat below that band.
+    const auto t = orin_max();
+    const auto m = faster_rcnn_r50();
+    const double total = stage1_ms(m, t) + stage2_ms(m, t, 120);
+    EXPECT_GT(total, 250.0);
+    EXPECT_LT(total, 380.0);
+}
+
+TEST(PaperCalibration, YoloFasterThanTwoStage) {
+    const auto t = orin_max();
+    const double yolo = stage1_ms(yolov5s(), t) + stage2_ms(yolov5s(), t, 0);
+    const double frcnn = stage1_ms(faster_rcnn_r50(), t) +
+                         stage2_ms(faster_rcnn_r50(), t, 120);
+    EXPECT_LT(yolo * 1.8, frcnn);
+}
+
+TEST(PaperCalibration, YoloWorkIndependentOfProposals) {
+    // One-stage detectors have a static anchor grid (Sec. 3): the "proposal"
+    // value must not change the work.
+    const auto m = yolov5s();
+    const auto w0 = m.stage2_total(0);
+    const auto w600 = m.stage2_total(600);
+    EXPECT_DOUBLE_EQ(w0.cpu_ops, w600.cpu_ops);
+    EXPECT_DOUBLE_EQ(w0.gpu_ops, w600.gpu_ops);
+    EXPECT_DOUBLE_EQ(w0.mem_bytes, w600.mem_bytes);
+}
+
+TEST(DetectorModel, ComponentsSumToTotals) {
+    const auto m = mask_rcnn_r50();
+    WorkItem sum;
+    for (const auto& c : m.stage1_components(1.2, 1.05)) sum += c;
+    const auto total = m.stage1_total(1.2, 1.05);
+    EXPECT_NEAR(sum.gpu_ops, total.gpu_ops, 1e-6);
+    EXPECT_NEAR(sum.cpu_ops, total.cpu_ops, 1e-6);
+    EXPECT_NEAR(sum.mem_bytes, total.mem_bytes, 1e-6);
+}
+
+TEST(DetectorModel, FrequencyScalingConvexity) {
+    // Lowering GPU frequency must increase latency sublinearly (memory
+    // floor): halving f should less-than-double the stage-1 latency.
+    const auto m = faster_rcnn_r50();
+    const auto t = orin_max();
+    const double fast = stage1_ms(m, t);
+    Throughputs half = t;
+    half.gpu /= 2.0;
+    const double slow = stage1_ms(m, half);
+    EXPECT_GT(slow, fast * 1.4);
+    EXPECT_LT(slow, fast * 2.0);
+}
+
+class DetectorParamSuite : public ::testing::TestWithParam<DetectorKind> {};
+
+TEST_P(DetectorParamSuite, AllWorkNonNegative) {
+    const auto m = make_detector(GetParam());
+    for (const auto& c : m.stage1_components(1.0, 1.0)) {
+        EXPECT_GE(c.cpu_ops, 0.0);
+        EXPECT_GE(c.gpu_ops, 0.0);
+        EXPECT_GE(c.mem_bytes, 0.0);
+    }
+    for (const auto& c : m.stage2_components(100)) {
+        EXPECT_GE(c.cpu_ops, 0.0);
+        EXPECT_GE(c.gpu_ops, 0.0);
+        EXPECT_GE(c.mem_bytes, 0.0);
+    }
+}
+
+TEST_P(DetectorParamSuite, Stage2MonotoneInProposals) {
+    const auto m = make_detector(GetParam());
+    const auto t = orin_max();
+    double prev = -1.0;
+    for (const int p : {0, 50, 100, 200, 300}) {
+        const double ms = stage2_ms(m, t, p);
+        ASSERT_GE(ms, prev) << "proposals " << p;
+        prev = ms;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDetectors, DetectorParamSuite,
+                         ::testing::Values(DetectorKind::faster_rcnn,
+                                           DetectorKind::mask_rcnn,
+                                           DetectorKind::yolo_v5));
+
+} // namespace
+} // namespace lotus::detector

@@ -1,0 +1,252 @@
+// Tests for the LOTUS state encoding (Sec. 4.3.2), action codec (4.3.1) and
+// reward (4.3.3, Eqs. (2)-(3)).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lotus/reward.hpp"
+#include "lotus/state.hpp"
+
+namespace lotus::core {
+namespace {
+
+governors::Observation base_obs() {
+    governors::Observation o;
+    o.cpu_temp = 60.0;
+    o.gpu_temp = 70.0;
+    o.cpu_level = 4;
+    o.gpu_level = 3;
+    o.cpu_levels = 8;
+    o.gpu_levels = 6;
+    o.latency_constraint_s = 0.45;
+    o.last_frame_latency_s = 0.40;
+    return o;
+}
+
+TEST(ActionCodec, RoundTripsAllActions) {
+    ActionCodec codec(8, 6);
+    EXPECT_EQ(codec.num_actions(), 48u);
+    for (std::size_t c = 0; c < 8; ++c) {
+        for (std::size_t g = 0; g < 6; ++g) {
+            const int a = codec.encode(c, g);
+            const auto [c2, g2] = codec.decode(a);
+            ASSERT_EQ(c2, c);
+            ASSERT_EQ(g2, g);
+        }
+    }
+}
+
+TEST(ActionCodec, ActionsAreUnique) {
+    ActionCodec codec(5, 7);
+    std::set<int> seen;
+    for (std::size_t c = 0; c < 5; ++c) {
+        for (std::size_t g = 0; g < 7; ++g) seen.insert(codec.encode(c, g));
+    }
+    EXPECT_EQ(seen.size(), 35u);
+}
+
+TEST(ActionCodec, BoundsChecked) {
+    ActionCodec codec(4, 4);
+    EXPECT_THROW((void)codec.encode(4, 0), std::out_of_range);
+    EXPECT_THROW((void)codec.encode(0, 4), std::out_of_range);
+    EXPECT_THROW((void)codec.decode(-1), std::out_of_range);
+    EXPECT_THROW((void)codec.decode(16), std::out_of_range);
+    EXPECT_THROW(ActionCodec(0, 4), std::invalid_argument);
+}
+
+StateEncoderConfig encoder_config() {
+    StateEncoderConfig cfg;
+    cfg.temp_ref_celsius = 80.0; // the agent wires this to T_thres
+    return cfg;
+}
+
+TEST(StateEncoder, EvenStateLayout) {
+    StateEncoder enc(8, 6, encoder_config());
+    const auto s = enc.encode_even(base_obs());
+    ASSERT_EQ(s.size(), kStateDim);
+    EXPECT_DOUBLE_EQ(s[0], 0.0);                     // stage flag
+    EXPECT_DOUBLE_EQ(s[1], (60.0 - 80.0) / 15.0);    // T_cpu vs threshold
+    EXPECT_DOUBLE_EQ(s[2], (70.0 - 80.0) / 15.0);    // T_gpu vs threshold
+    EXPECT_DOUBLE_EQ(s[3], 4.0 / 7.0);               // cpu level norm
+    EXPECT_DOUBLE_EQ(s[4], 3.0 / 5.0);               // gpu level norm
+    EXPECT_NEAR(s[5], (0.45 - 0.40) / 0.45, 1e-12);  // previous slack / L
+    EXPECT_DOUBLE_EQ(s[6], 0.0);                     // proposal slot empty
+}
+
+TEST(StateEncoder, TemperatureEncodingResolvesThresholdBand) {
+    // The hot/safe boundary must land at the same encoded value on both
+    // device classes -- the property the threshold-relative encoding exists
+    // for (a fixed /100 scale would squash the phone's band).
+    StateEncoderConfig orin_cfg;
+    orin_cfg.temp_ref_celsius = 83.0;
+    StateEncoderConfig mi11_cfg;
+    mi11_cfg.temp_ref_celsius = 41.0;
+    StateEncoder orin(8, 6, orin_cfg);
+    StateEncoder mi11(8, 8, mi11_cfg);
+
+    auto orin_obs = base_obs();
+    orin_obs.cpu_temp = 83.0; // exactly at threshold
+    auto mi11_obs = base_obs();
+    mi11_obs.cpu_temp = 41.0;
+    EXPECT_DOUBLE_EQ(orin.encode_even(orin_obs)[1], 0.0);
+    EXPECT_DOUBLE_EQ(mi11.encode_even(mi11_obs)[1], 0.0);
+    // 3 K over threshold encodes identically on both devices.
+    orin_obs.cpu_temp = 86.0;
+    mi11_obs.cpu_temp = 44.0;
+    EXPECT_DOUBLE_EQ(orin.encode_even(orin_obs)[1], mi11.encode_even(mi11_obs)[1]);
+}
+
+TEST(StateEncoder, EvenStateFirstFrameUsesFullBudget) {
+    StateEncoder enc(8, 6, encoder_config());
+    auto obs = base_obs();
+    obs.last_frame_latency_s = 0.0; // no history yet
+    const auto s = enc.encode_even(obs);
+    EXPECT_DOUBLE_EQ(s[5], 1.0); // DeltaL = L -> normalised to 1
+}
+
+TEST(StateEncoder, OddStateLayout) {
+    StateEncoder enc(8, 6, encoder_config());
+    auto obs = base_obs();
+    obs.proposals = 325;
+    obs.elapsed_in_frame_s = 0.30;
+    const auto s = enc.encode_odd(obs);
+    ASSERT_EQ(s.size(), kStateDim);
+    EXPECT_DOUBLE_EQ(s[0], 1.0); // stage flag
+    EXPECT_NEAR(s[5], (0.45 - 0.30) / 0.45, 1e-12); // remaining budget / L
+    EXPECT_DOUBLE_EQ(s[6], 325.0 / 650.0);
+}
+
+TEST(StateEncoder, OddStateRequiresProposals) {
+    StateEncoder enc(8, 6, encoder_config());
+    auto obs = base_obs();
+    obs.proposals = -1;
+    EXPECT_THROW((void)enc.encode_odd(obs), std::invalid_argument);
+}
+
+TEST(StateEncoder, DeltaLClamped) {
+    StateEncoderConfig cfg;
+    cfg.delta_l_clamp = 2.0;
+    StateEncoder enc(8, 6, cfg);
+    auto obs = base_obs();
+    obs.last_frame_latency_s = 10.0; // hugely over budget
+    EXPECT_DOUBLE_EQ(enc.encode_even(obs)[5], -2.0);
+}
+
+TEST(StateEncoder, ProposalNormCapped) {
+    StateEncoder enc(8, 6, encoder_config());
+    auto obs = base_obs();
+    obs.proposals = 100000;
+    obs.elapsed_in_frame_s = 0.1;
+    EXPECT_DOUBLE_EQ(enc.encode_odd(obs)[6], 2.0);
+}
+
+TEST(StateEncoder, Validation) {
+    EXPECT_THROW(StateEncoder(1, 6), std::invalid_argument);
+    StateEncoderConfig bad;
+    bad.proposal_norm = 0.0;
+    EXPECT_THROW(StateEncoder(8, 6, bad), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Reward (Eqs. (2)-(3)).
+// ---------------------------------------------------------------------------
+
+RewardConfig reward_config() {
+    RewardConfig cfg;
+    cfg.penalty_p = 5.0;
+    cfg.lambda_temp = 0.5;
+    cfg.sigma_window = 10;
+    cfg.t_thres_celsius = 80.0;
+    return cfg;
+}
+
+TEST(LotusReward, RTimePositiveBranch) {
+    LotusReward r(reward_config());
+    // r_time = tanh(x) + 1/(1+sigma)
+    EXPECT_NEAR(r.r_time(0.5, 0.0), std::tanh(0.5) + 1.0, 1e-12);
+    EXPECT_NEAR(r.r_time(0.5, 1.0), std::tanh(0.5) + 0.5, 1e-12);
+}
+
+TEST(LotusReward, RTimeViolationBranch) {
+    LotusReward r(reward_config());
+    // Violation: p * DeltaL (negative).
+    EXPECT_NEAR(r.r_time(-0.2, 0.0), -1.0, 1e-12);
+    EXPECT_NEAR(r.r_time(-1.0, 5.0), -5.0, 1e-12);
+}
+
+TEST(LotusReward, VarianceTermRewardsStability) {
+    // Identical mean slack, different dispersion: the stable stream must
+    // accumulate more reward -- this is the sigma_n term of Eq. (2).
+    LotusReward stable(reward_config());
+    LotusReward jumpy(reward_config());
+    double stable_sum = 0.0;
+    double jumpy_sum = 0.0;
+    for (int i = 0; i < 40; ++i) {
+        stable_sum += stable.evaluate(0.35, 0.45, 60, 60).r_time;
+        const double lat = (i % 2 == 0) ? 0.25 : 0.45 - 1e-9;
+        jumpy_sum += jumpy.evaluate(lat, 0.45, 60, 60).r_time;
+    }
+    EXPECT_GT(stable_sum, jumpy_sum);
+}
+
+TEST(LotusReward, RTempBinary) {
+    LotusReward r(reward_config());
+    EXPECT_DOUBLE_EQ(r.r_temp(70, 70), 1.0);
+    EXPECT_DOUBLE_EQ(r.r_temp(80, 80), 1.0); // <= threshold is fine
+    EXPECT_DOUBLE_EQ(r.r_temp(81, 70), -5.0);
+    EXPECT_DOUBLE_EQ(r.r_temp(70, 81), -5.0);
+}
+
+TEST(LotusReward, TotalCombinesWithLambda) {
+    LotusReward r(reward_config());
+    const auto b = r.evaluate(0.35, 0.45, 60, 60);
+    EXPECT_NEAR(b.total, b.r_time + 0.5 * b.r_temp, 1e-12);
+    EXPECT_NEAR(b.delta_l_norm, (0.45 - 0.35) / 0.45, 1e-12);
+}
+
+TEST(LotusReward, SigmaWindowTracksRecentFrames) {
+    LotusReward r(reward_config());
+    // Constant latency -> sigma 0.
+    for (int i = 0; i < 15; ++i) (void)r.evaluate(0.35, 0.45, 60, 60);
+    EXPECT_NEAR(r.current_sigma(), 0.0, 1e-12);
+    // A latency jump raises sigma.
+    (void)r.evaluate(0.10, 0.45, 60, 60);
+    EXPECT_GT(r.current_sigma(), 0.01);
+}
+
+TEST(LotusReward, ViolationDominatesVarianceBonus) {
+    LotusReward r(reward_config());
+    const auto good = r.evaluate(0.40, 0.45, 60, 60);
+    const auto bad = r.evaluate(0.60, 0.45, 60, 60);
+    EXPECT_GT(good.total, 0.0);
+    EXPECT_LT(bad.total, 0.0);
+}
+
+TEST(LotusReward, OverheatPenaltyDominates) {
+    LotusReward r(reward_config());
+    const auto hot = r.evaluate(0.30, 0.45, 90, 60);
+    const auto cool = r.evaluate(0.30, 0.45, 60, 60);
+    EXPECT_LT(hot.total, cool.total - 2.0);
+}
+
+TEST(LotusReward, ResetClearsWindow) {
+    LotusReward r(reward_config());
+    for (int i = 0; i < 5; ++i) (void)r.evaluate(0.1 * i + 0.1, 0.45, 60, 60);
+    r.reset();
+    EXPECT_EQ(r.current_sigma(), 0.0);
+}
+
+TEST(LotusReward, Validation) {
+    auto cfg = reward_config();
+    cfg.penalty_p = 0.0;
+    EXPECT_THROW(LotusReward{cfg}, std::invalid_argument);
+    cfg = reward_config();
+    cfg.lambda_temp = -1.0;
+    EXPECT_THROW(LotusReward{cfg}, std::invalid_argument);
+    LotusReward ok(reward_config());
+    EXPECT_THROW((void)ok.evaluate(0.4, 0.0, 60, 60), std::invalid_argument);
+}
+
+} // namespace
+} // namespace lotus::core

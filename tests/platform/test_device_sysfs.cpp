@@ -1,0 +1,230 @@
+// Tests for the EdgeDevice facade and the sysfs emulation layer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "platform/device.hpp"
+#include "platform/presets.hpp"
+
+namespace lotus::platform {
+namespace {
+
+EdgeDevice make_orin() {
+    return EdgeDevice(orin_nano_spec());
+}
+
+TEST(EdgeDevice, StartsAtMaxLevelsAndAmbient) {
+    auto dev = make_orin();
+    EXPECT_EQ(dev.cpu_level(), dev.cpu_levels() - 1);
+    EXPECT_EQ(dev.gpu_level(), dev.gpu_levels() - 1);
+    EXPECT_NEAR(dev.cpu_temp(), 25.0, 1e-9);
+    EXPECT_NEAR(dev.gpu_temp(), 25.0, 1e-9);
+    EXPECT_EQ(dev.now(), 0.0);
+    EXPECT_EQ(dev.energy_joules(), 0.0);
+}
+
+TEST(EdgeDevice, RequestLevelsGrantedWhenCool) {
+    auto dev = make_orin();
+    dev.request_levels(2, 3);
+    EXPECT_EQ(dev.cpu_level(), 2u);
+    EXPECT_EQ(dev.gpu_level(), 3u);
+    EXPECT_DOUBLE_EQ(dev.cpu_freq(), dev.spec().cpu.opp.freq(2));
+    EXPECT_DOUBLE_EQ(dev.gpu_freq(), dev.spec().gpu.opp.freq(3));
+}
+
+TEST(EdgeDevice, RequestOutOfRangeThrows) {
+    auto dev = make_orin();
+    EXPECT_THROW(dev.request_levels(99, 0), std::out_of_range);
+    EXPECT_THROW(dev.request_levels(0, 99), std::out_of_range);
+}
+
+TEST(EdgeDevice, DvfsTransitionCostsTime) {
+    auto dev = make_orin();
+    const double t0 = dev.now();
+    dev.request_levels(1, 1);
+    EXPECT_NEAR(dev.now() - t0, dev.spec().dvfs_latency_s, 1e-12);
+    // No-op request costs nothing.
+    const double t1 = dev.now();
+    dev.request_levels(1, 1);
+    EXPECT_EQ(dev.now(), t1);
+}
+
+TEST(EdgeDevice, ThroughputScalesWithLevel) {
+    auto dev = make_orin();
+    dev.request_levels(7, 5);
+    const double fast = dev.gpu_throughput();
+    dev.request_levels(7, 0);
+    const double slow = dev.gpu_throughput();
+    EXPECT_GT(fast, slow);
+    EXPECT_NEAR(fast / slow,
+                dev.spec().gpu.opp.max_freq() / dev.spec().gpu.opp.min_freq(), 1e-9);
+}
+
+TEST(EdgeDevice, AdvanceAccumulatesTimeEnergyHeat) {
+    auto dev = make_orin();
+    dev.advance(5.0, 1.0, 1.0);
+    EXPECT_NEAR(dev.now(), 5.0, 1e-9);
+    EXPECT_GT(dev.energy_joules(), 0.0);
+    EXPECT_GT(dev.gpu_temp(), 25.0);
+    EXPECT_GT(dev.cpu_temp(), 25.0);
+    EXPECT_GT(dev.last_power().total(), 1.0);
+}
+
+TEST(EdgeDevice, IdleDrawsLessThanBusy) {
+    auto busy = make_orin();
+    auto idle = make_orin();
+    busy.advance(5.0, 1.0, 1.0);
+    idle.advance(5.0, 0.0, 0.0);
+    EXPECT_GT(busy.energy_joules(), 3.0 * idle.energy_joules());
+}
+
+TEST(EdgeDevice, NegativeAdvanceThrows) {
+    auto dev = make_orin();
+    EXPECT_THROW(dev.advance(-0.1, 0, 0), std::invalid_argument);
+}
+
+TEST(EdgeDevice, SustainedMaxLoadTripsGpuThrottle) {
+    auto dev = make_orin();
+    // Run hot long enough for the board to soak; max levels + full util.
+    for (int i = 0; i < 400; ++i) dev.advance(1.0, 0.3, 1.0);
+    EXPECT_TRUE(dev.gpu_throttled());
+    // Granted level is clamped below the request.
+    EXPECT_LT(dev.gpu_level(), dev.requested_gpu_level());
+}
+
+TEST(EdgeDevice, MidLadderIsThermallySustainable) {
+    auto dev = make_orin();
+    dev.request_levels(5, 3); // the sustainable operating point of DESIGN.md
+    for (int i = 0; i < 600; ++i) dev.advance(1.0, 0.3, 0.8);
+    EXPECT_FALSE(dev.gpu_throttled());
+    EXPECT_LT(dev.gpu_temp(), dev.spec().gpu_throttle.trip_celsius);
+}
+
+TEST(EdgeDevice, ThrottleRecoveryRestoresRequest) {
+    auto dev = make_orin();
+    for (int i = 0; i < 400; ++i) dev.advance(1.0, 0.3, 1.0);
+    ASSERT_TRUE(dev.gpu_throttled());
+    // Cool down: idle at cold ambient.
+    dev.set_ambient(0.0);
+    for (int i = 0; i < 600; ++i) dev.advance(1.0, 0.0, 0.0);
+    EXPECT_FALSE(dev.gpu_throttled());
+    EXPECT_EQ(dev.gpu_level(), dev.requested_gpu_level());
+}
+
+TEST(EdgeDevice, AmbientShiftsTemperatures) {
+    auto warm = make_orin();
+    auto cold = make_orin();
+    cold.set_ambient(0.0);
+    // reset() re-seeds the thermal state from ambient.
+    cold.reset();
+    warm.advance(50.0, 0.5, 0.5);
+    cold.advance(50.0, 0.5, 0.5);
+    EXPECT_GT(warm.gpu_temp(), cold.gpu_temp() + 10.0);
+}
+
+TEST(EdgeDevice, ResetRestoresColdStart) {
+    auto dev = make_orin();
+    dev.advance(100.0, 1.0, 1.0);
+    dev.request_levels(2, 2);
+    dev.reset();
+    EXPECT_EQ(dev.now(), 0.0);
+    EXPECT_EQ(dev.energy_joules(), 0.0);
+    EXPECT_NEAR(dev.cpu_temp(), dev.ambient(), 1e-9);
+    // Requested levels survive a reset (reset is thermal, not config).
+    EXPECT_EQ(dev.requested_cpu_level(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// sysfs.
+// ---------------------------------------------------------------------------
+
+TEST(Sysfs, RegistrationRules) {
+    SysfsFs fs;
+    fs.add_file("/a/b", [] { return "1"; });
+    EXPECT_THROW(fs.add_file("/a/b", [] { return "2"; }), std::invalid_argument);
+    EXPECT_THROW(fs.add_file("relative/path", [] { return "x"; }), std::invalid_argument);
+    EXPECT_THROW(fs.add_file("/a/c", SysfsFs::ReadFn{}), std::invalid_argument);
+}
+
+TEST(Sysfs, ReadWriteSemantics) {
+    SysfsFs fs;
+    int value = 5;
+    fs.add_file(
+        "/rw", [&] { return std::to_string(value); },
+        [&](const std::string& v) { value = std::stoi(v); });
+    fs.add_file("/ro", [] { return "7"; });
+
+    EXPECT_EQ(fs.read("/rw"), "5");
+    fs.write("/rw", "9");
+    EXPECT_EQ(value, 9);
+    EXPECT_EQ(fs.read_ll("/rw"), 9);
+    EXPECT_THROW(fs.write("/ro", "1"), std::runtime_error);
+    EXPECT_THROW((void)fs.read("/missing"), std::out_of_range);
+    EXPECT_THROW(fs.write("/missing", "1"), std::out_of_range);
+}
+
+TEST(Sysfs, ListByPrefix) {
+    SysfsFs fs;
+    fs.add_file("/sys/a", [] { return ""; });
+    fs.add_file("/sys/b", [] { return ""; });
+    fs.add_file("/proc/c", [] { return ""; });
+    EXPECT_EQ(fs.list("/sys").size(), 2u);
+    EXPECT_EQ(fs.list("/").size(), 3u);
+}
+
+class MountedSysfs : public ::testing::Test {
+protected:
+    MountedSysfs() : dev_(orin_nano_spec()) {
+        dev_.mount_sysfs(fs_);
+    }
+    EdgeDevice dev_;
+    SysfsFs fs_;
+};
+
+TEST_F(MountedSysfs, ExposesKernelLikeNodes) {
+    EXPECT_TRUE(fs_.exists("/sys/devices/system/cpu/cpu0/cpufreq/scaling_cur_freq"));
+    EXPECT_TRUE(fs_.exists("/sys/class/devfreq/gpu/cur_freq"));
+    EXPECT_TRUE(fs_.exists("/sys/class/thermal/thermal_zone0/temp"));
+    EXPECT_TRUE(fs_.exists("/sys/class/thermal/thermal_zone1/temp"));
+}
+
+TEST_F(MountedSysfs, CpufreqReportsKhz) {
+    const auto khz =
+        fs_.read_ll("/sys/devices/system/cpu/cpu0/cpufreq/scaling_cur_freq");
+    EXPECT_EQ(khz, static_cast<long long>(dev_.cpu_freq() / 1000.0));
+}
+
+TEST_F(MountedSysfs, ThermalZoneReportsMilliCelsius) {
+    dev_.advance(20.0, 1.0, 1.0);
+    const auto milli = fs_.read_ll("/sys/class/thermal/thermal_zone1/temp");
+    EXPECT_NEAR(static_cast<double>(milli) / 1000.0, dev_.gpu_temp(), 0.01);
+}
+
+TEST_F(MountedSysfs, SetspeedWriteChangesFrequency) {
+    const auto target_khz = static_cast<long long>(dev_.spec().cpu.opp.freq(2) / 1000.0);
+    fs_.write("/sys/devices/system/cpu/cpu0/cpufreq/scaling_setspeed",
+              std::to_string(target_khz));
+    EXPECT_EQ(dev_.cpu_level(), 2u);
+    fs_.write("/sys/class/devfreq/gpu/userspace/set_freq",
+              std::to_string(static_cast<long long>(dev_.spec().gpu.opp.freq(1))));
+    EXPECT_EQ(dev_.gpu_level(), 1u);
+}
+
+TEST_F(MountedSysfs, MaxFreqReflectsThrottleCap) {
+    // Heat until the GPU throttles and confirm the advertised max drops.
+    for (int i = 0; i < 400; ++i) dev_.advance(1.0, 0.3, 1.0);
+    ASSERT_TRUE(dev_.gpu_throttled());
+    const auto capped = fs_.read_ll("/sys/class/devfreq/gpu/max_freq");
+    EXPECT_LT(capped, static_cast<long long>(dev_.spec().gpu.opp.max_freq()));
+}
+
+TEST_F(MountedSysfs, AvailableFrequenciesListsLadder) {
+    const auto s = fs_.read("/sys/class/devfreq/gpu/available_frequencies");
+    // All six ladder entries, space separated.
+    EXPECT_EQ(std::count(s.begin(), s.end(), ' '), 5);
+    EXPECT_NE(s.find("624750000"), std::string::npos);
+}
+
+} // namespace
+} // namespace lotus::platform

@@ -1,0 +1,247 @@
+// Tests for the matrix kernels and slimmable layers, including
+// finite-difference gradient checks at multiple widths.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rl/layers.hpp"
+#include "rl/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace lotus::rl {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+    Matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_EQ(m.size(), 6u);
+    EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+    m.at(0, 1) = 7.0;
+    EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(Matrix, ZeroDimensionThrows) {
+    EXPECT_THROW(Matrix(0, 3), std::invalid_argument);
+    EXPECT_THROW(Matrix(3, 0), std::invalid_argument);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+    Matrix m(2, 2);
+    EXPECT_THROW((void)m.at(2, 0), std::out_of_range);
+    EXPECT_THROW((void)m.at(0, 2), std::out_of_range);
+}
+
+TEST(Matrix, SliceMatvecFullSize) {
+    Matrix a(2, 3);
+    // a = [[1,2,3],[4,5,6]]
+    double v = 1;
+    for (std::size_t r = 0; r < 2; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) a(r, c) = v++;
+    }
+    const std::vector<double> x{1, 0, -1};
+    const std::vector<double> b{10, 20};
+    std::vector<double> y(2);
+    Matrix::slice_matvec(a, x, b, y, 2, 3);
+    EXPECT_DOUBLE_EQ(y[0], 10 + 1 - 3);
+    EXPECT_DOUBLE_EQ(y[1], 20 + 4 - 6);
+}
+
+TEST(Matrix, SliceMatvecPartial) {
+    Matrix a(3, 3, 1.0);
+    const std::vector<double> x{1, 1, 1};
+    const std::vector<double> b{0, 0, 0};
+    std::vector<double> y(3, -99);
+    Matrix::slice_matvec(a, x, b, y, 2, 2); // only 2x2 corner
+    EXPECT_DOUBLE_EQ(y[0], 2.0);
+    EXPECT_DOUBLE_EQ(y[1], 2.0);
+    EXPECT_DOUBLE_EQ(y[2], -99.0); // untouched
+}
+
+TEST(Matrix, TransposedMatvecMatchesManual) {
+    Matrix a(2, 3);
+    double v = 1;
+    for (std::size_t r = 0; r < 2; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) a(r, c) = v++;
+    }
+    const std::vector<double> dy{2, -1};
+    std::vector<double> dx(3);
+    Matrix::slice_matvec_transposed(a, dy, dx, 2, 3);
+    // dx = A^T dy
+    EXPECT_DOUBLE_EQ(dx[0], 2 * 1 - 1 * 4);
+    EXPECT_DOUBLE_EQ(dx[1], 2 * 2 - 1 * 5);
+    EXPECT_DOUBLE_EQ(dx[2], 2 * 3 - 1 * 6);
+}
+
+TEST(Matrix, OuterAccumulate) {
+    Matrix g(2, 2, 0.0);
+    const std::vector<double> dy{1, 2};
+    const std::vector<double> x{3, 4};
+    Matrix::slice_outer_accumulate(g, dy, x, 2, 2);
+    Matrix::slice_outer_accumulate(g, dy, x, 2, 2); // accumulate twice
+    EXPECT_DOUBLE_EQ(g(0, 0), 2 * 1 * 3);
+    EXPECT_DOUBLE_EQ(g(1, 1), 2 * 2 * 4);
+}
+
+TEST(ReluOps, ForwardClampsNegativePrefixOnly) {
+    std::vector<double> x{-1, 2, -3, 4};
+    relu_inplace(x, 2);
+    EXPECT_DOUBLE_EQ(x[0], 0.0);
+    EXPECT_DOUBLE_EQ(x[1], 2.0);
+    EXPECT_DOUBLE_EQ(x[2], -3.0); // outside active prefix
+}
+
+TEST(ReluOps, BackwardMasksByPreActivation) {
+    const std::vector<double> pre{-0.5, 0.5, 0.0};
+    std::vector<double> dy{1, 1, 1};
+    relu_backward(pre, dy, 3);
+    EXPECT_DOUBLE_EQ(dy[0], 0.0);
+    EXPECT_DOUBLE_EQ(dy[1], 1.0);
+    EXPECT_DOUBLE_EQ(dy[2], 0.0); // relu'(0) = 0 by convention here
+}
+
+TEST(SlimmableLinear, ForwardMatchesManual) {
+    util::Rng rng(1);
+    SlimmableLinear layer(3, 2, rng);
+    layer.weights()(0, 0) = 1;
+    layer.weights()(0, 1) = 2;
+    layer.weights()(0, 2) = 3;
+    layer.weights()(1, 0) = -1;
+    layer.weights()(1, 1) = 0;
+    layer.weights()(1, 2) = 1;
+    layer.bias()[0] = 0.5;
+    layer.bias()[1] = -0.5;
+
+    const std::vector<double> x{1, 1, 1};
+    std::vector<double> y(2);
+    layer.forward(x, y, 3, 2);
+    EXPECT_DOUBLE_EQ(y[0], 6.5);
+    EXPECT_DOUBLE_EQ(y[1], -0.5);
+}
+
+TEST(SlimmableLinear, ReducedSliceIgnoresTail) {
+    util::Rng rng(2);
+    SlimmableLinear layer(4, 4, rng);
+    const std::vector<double> x{1, 1, 1, 1};
+    std::vector<double> y_full(4);
+    layer.forward(x, y_full, 4, 4);
+
+    // Poison the tail weights; a 3/3 slice must not see them.
+    layer.weights()(0, 3) = 1e9;
+    layer.weights()(3, 0) = 1e9;
+    std::vector<double> y_slice(3);
+    layer.forward(x, y_slice, 3, 3);
+    for (int r = 0; r < 3; ++r) {
+        ASSERT_LT(std::abs(y_slice[static_cast<std::size_t>(r)]), 1e6)
+            << "tail weight leaked into slice";
+    }
+}
+
+TEST(SlimmableLinear, BackwardMarksOnlyActiveMask) {
+    util::Rng rng(3);
+    SlimmableLinear layer(4, 4, rng);
+    const std::vector<double> x{1, 2, 3, 4};
+    const std::vector<double> dy{1, 1, 1};
+    std::vector<double> dx(3);
+    layer.backward(x, dy, dx, 3, 3);
+
+    const auto mask = layer.weight_mask();
+    for (std::size_t r = 0; r < 4; ++r) {
+        for (std::size_t c = 0; c < 4; ++c) {
+            const bool expected = r < 3 && c < 3;
+            ASSERT_EQ(mask[r * 4 + c] != 0, expected) << "r=" << r << " c=" << c;
+        }
+    }
+    const auto bmask = layer.bias_mask();
+    EXPECT_TRUE(bmask[0] && bmask[1] && bmask[2]);
+    EXPECT_FALSE(bmask[3]);
+}
+
+TEST(SlimmableLinear, ZeroGradClears) {
+    util::Rng rng(4);
+    SlimmableLinear layer(2, 2, rng);
+    const std::vector<double> x{1, 1};
+    const std::vector<double> dy{1, 1};
+    std::vector<double> dx(2);
+    layer.backward(x, dy, dx, 2, 2);
+    layer.zero_grad();
+    for (const double g : layer.grad_weights().flat()) EXPECT_EQ(g, 0.0);
+    for (const auto m : layer.weight_mask()) EXPECT_EQ(m, 0);
+}
+
+/// Finite-difference gradient check of a single layer at a given slice.
+void gradient_check_layer(std::size_t in, std::size_t out, std::size_t in_active,
+                          std::size_t out_active, std::uint64_t seed) {
+    util::Rng rng(seed);
+    SlimmableLinear layer(in, out, rng);
+    std::vector<double> x(in_active);
+    for (auto& v : x) v = rng.uniform(-1, 1);
+
+    // Loss = sum(y). dL/dy = 1.
+    const std::vector<double> dy(out_active, 1.0);
+    std::vector<double> dx(in_active);
+    layer.zero_grad();
+    layer.backward(x, dy, dx, in_active, out_active);
+
+    const double eps = 1e-6;
+    auto loss = [&] {
+        std::vector<double> y(out_active);
+        layer.forward(x, y, in_active, out_active);
+        double s = 0;
+        for (const double v : y) s += v;
+        return s;
+    };
+    // Check a handful of weight gradients numerically.
+    for (std::size_t r = 0; r < out_active; ++r) {
+        for (std::size_t c = 0; c < in_active; ++c) {
+            double& w = layer.weights()(r, c);
+            const double orig = w;
+            w = orig + eps;
+            const double lp = loss();
+            w = orig - eps;
+            const double lm = loss();
+            w = orig;
+            const double numeric = (lp - lm) / (2 * eps);
+            ASSERT_NEAR(layer.grad_weights()(r, c), numeric, 1e-5)
+                << "weight (" << r << "," << c << ")";
+        }
+    }
+}
+
+TEST(SlimmableLinear, GradCheckFullWidth) {
+    gradient_check_layer(5, 4, 5, 4, 10);
+}
+
+TEST(SlimmableLinear, GradCheckReducedWidth) {
+    gradient_check_layer(5, 4, 4, 3, 11);
+}
+
+TEST(SlimmableLinear, GradCheckInputGradient) {
+    util::Rng rng(12);
+    SlimmableLinear layer(4, 3, rng);
+    std::vector<double> x{0.3, -0.2, 0.8, 0.1};
+    const std::vector<double> dy{1.0, 1.0, 1.0};
+    std::vector<double> dx(4);
+    layer.backward(x, dy, dx, 4, 3);
+
+    const double eps = 1e-6;
+    for (std::size_t i = 0; i < 4; ++i) {
+        auto loss = [&] {
+            std::vector<double> y(3);
+            layer.forward(x, y, 4, 3);
+            return y[0] + y[1] + y[2];
+        };
+        const double orig = x[i];
+        x[i] = orig + eps;
+        const double lp = loss();
+        x[i] = orig - eps;
+        const double lm = loss();
+        x[i] = orig;
+        ASSERT_NEAR(dx[i], (lp - lm) / (2 * eps), 1e-5) << "input " << i;
+    }
+}
+
+} // namespace
+} // namespace lotus::rl

@@ -1,0 +1,107 @@
+// Tests for Q-network checkpointing.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "rl/optimizer.hpp"
+#include "rl/serialize.hpp"
+
+namespace lotus::rl {
+namespace {
+
+MlpConfig net_config(std::uint64_t seed = 3) {
+    MlpConfig cfg;
+    cfg.dims = {7, 24, 24, 12};
+    cfg.slim_input = true;
+    cfg.seed = seed;
+    return cfg;
+}
+
+TEST(Serialize, RoundTripIsBitExact) {
+    SlimmableMlp net(net_config());
+    std::stringstream buffer;
+    save_mlp(net, buffer);
+    const auto restored = load_mlp(buffer);
+
+    const std::vector<double> x(7, 0.37);
+    for (const double width : {0.75, 1.0}) {
+        const auto a = net.forward(x, width);
+        const auto b = restored.forward(x, width);
+        ASSERT_EQ(a, b) << "width " << width;
+    }
+    EXPECT_EQ(restored.config().dims, net.config().dims);
+    EXPECT_EQ(restored.config().slim_input, net.config().slim_input);
+}
+
+TEST(Serialize, FileRoundTrip) {
+    const auto path =
+        (std::filesystem::temp_directory_path() / "lotus_mlp_test.ckpt").string();
+    SlimmableMlp net(net_config(7));
+    save_mlp(net, path);
+    const auto restored = load_mlp(path);
+    const std::vector<double> x(7, -0.2);
+    EXPECT_EQ(net.forward(x, 1.0), restored.forward(x, 1.0));
+    std::filesystem::remove(path);
+}
+
+TEST(Serialize, LoadIntoExistingNetwork) {
+    SlimmableMlp source(net_config(11));
+    SlimmableMlp target(net_config(99)); // different init, same topology
+    const std::vector<double> x(7, 0.5);
+    ASSERT_NE(source.forward(x, 1.0), target.forward(x, 1.0));
+
+    std::stringstream buffer;
+    save_mlp(source, buffer);
+    load_mlp_into(target, buffer);
+    EXPECT_EQ(source.forward(x, 1.0), target.forward(x, 1.0));
+}
+
+TEST(Serialize, TopologyMismatchRejected) {
+    SlimmableMlp source(net_config());
+    std::stringstream buffer;
+    save_mlp(source, buffer);
+
+    MlpConfig other = net_config();
+    other.dims = {7, 16, 12};
+    SlimmableMlp target(other);
+    EXPECT_THROW(load_mlp_into(target, buffer), std::runtime_error);
+}
+
+TEST(Serialize, CorruptInputsRejected) {
+    std::stringstream garbage("garbage");
+    EXPECT_THROW((void)load_mlp(garbage), std::runtime_error);
+    std::stringstream truncated("lotus-mlp v1\ndims 3 7 16 4\nslim_input 1\n"
+                                "slim_output 0\nlayer 0\nw 1.0 2.0");
+    EXPECT_THROW((void)load_mlp(truncated), std::runtime_error);
+    std::stringstream bad_magic("lotus-mlp v9\ndims 2 2 2\n");
+    EXPECT_THROW((void)load_mlp(bad_magic), std::runtime_error);
+}
+
+TEST(Serialize, MissingFileRejected) {
+    EXPECT_THROW((void)load_mlp("/nonexistent/dir/net.ckpt"), std::runtime_error);
+    SlimmableMlp net(net_config());
+    EXPECT_THROW(save_mlp(net, "/nonexistent/dir/net.ckpt"), std::runtime_error);
+}
+
+TEST(Serialize, TrainedWeightsSurviveRoundTrip) {
+    // Checkpoint a partially trained network, not just an initialized one.
+    SlimmableMlp net(net_config(13));
+    Adam adam(net, {});
+    const std::vector<double> x(7, 0.4);
+    for (int i = 0; i < 20; ++i) {
+        ForwardCache cache;
+        net.forward_cached(x, 0.75, cache);
+        std::vector<double> dout(net.output_dim(), 0.2);
+        net.backward(cache, dout);
+        adam.step(net);
+    }
+    std::stringstream buffer;
+    save_mlp(net, buffer);
+    const auto restored = load_mlp(buffer);
+    EXPECT_EQ(net.forward(x, 0.75), restored.forward(x, 0.75));
+}
+
+} // namespace
+} // namespace lotus::rl

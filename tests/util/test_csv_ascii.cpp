@@ -1,0 +1,179 @@
+// Tests for CSV emission and console rendering helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/ascii.hpp"
+#include "util/csv.hpp"
+
+namespace lotus::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+class CsvWriterTest : public ::testing::Test {
+protected:
+    void TearDown() override {
+        if (!path_.empty()) std::filesystem::remove(path_);
+    }
+    std::string temp_path(const std::string& name) {
+        path_ = (std::filesystem::temp_directory_path() / name).string();
+        return path_;
+    }
+    std::string path_;
+};
+
+TEST(CsvEscape, PlainFieldUntouched) {
+    EXPECT_EQ(csv_escape("hello"), "hello");
+    EXPECT_EQ(csv_escape("123.5"), "123.5");
+}
+
+TEST(CsvEscape, QuotesFieldsWithComma) {
+    EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, DoublesEmbeddedQuotes) {
+    EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, QuotesNewlines) {
+    EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+    EXPECT_EQ(format_double(1.5), "1.5");
+    EXPECT_EQ(format_double(2.0), "2");
+    EXPECT_EQ(format_double(0.25, 4), "0.25");
+}
+
+TEST(FormatDouble, HandlesSpecials) {
+    EXPECT_EQ(format_double(std::nan("")), "nan");
+    EXPECT_EQ(format_double(1.0 / 0.0), "inf");
+    EXPECT_EQ(format_double(-1.0 / 0.0), "-inf");
+}
+
+TEST(FormatDouble, NegativeZeroNormalized) {
+    EXPECT_EQ(format_double(-0.0), "0");
+}
+
+TEST_F(CsvWriterTest, WritesHeaderAndRows) {
+    const auto path = temp_path("lotus_csv_test1.csv");
+    {
+        CsvWriter csv(path, {"a", "b"});
+        csv.row(std::vector<std::string>{"1", "x"});
+        csv.row(std::vector<double>{2.5, 3.0});
+        EXPECT_EQ(csv.rows_written(), 2u);
+    }
+    EXPECT_EQ(slurp(path), "a,b\n1,x\n2.5,3\n");
+}
+
+TEST_F(CsvWriterTest, RejectsArityMismatch) {
+    const auto path = temp_path("lotus_csv_test2.csv");
+    CsvWriter csv(path, {"a", "b"});
+    EXPECT_THROW(csv.row(std::vector<std::string>{"only-one"}), std::invalid_argument);
+}
+
+TEST_F(CsvWriterTest, RejectsEmptyHeader) {
+    const auto path = temp_path("lotus_csv_test3.csv");
+    EXPECT_THROW(CsvWriter(path, {}), std::invalid_argument);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+    TextTable t({"name", "value"});
+    t.add_row({"x", "1"});
+    t.add_row({"longer-name", "22"});
+    const auto out = t.render("title");
+    EXPECT_NE(out.find("title"), std::string::npos);
+    EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+    EXPECT_NE(out.find("| longer-name | 22    |"), std::string::npos);
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, RowCount) {
+    TextTable t({"a"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.add_row({"1"});
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(AsciiChart, RendersSeriesAndLegend) {
+    AsciiChart chart(40, 10);
+    chart.add_series({"lat", {1, 2, 3, 4, 5, 6, 7, 8}});
+    chart.add_reference_line(5.0, "bound");
+    const auto out = chart.render("demo", "ms");
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("[ms]"), std::string::npos);
+    EXPECT_NE(out.find("*=lat"), std::string::npos);
+    EXPECT_NE(out.find("-=bound"), std::string::npos);
+}
+
+TEST(AsciiChart, RejectsTinyGrid) {
+    EXPECT_THROW(AsciiChart(4, 2), std::invalid_argument);
+}
+
+TEST(AsciiChart, ExplicitRangeValidated) {
+    AsciiChart chart(40, 8);
+    EXPECT_THROW(chart.set_y_range(5.0, 5.0), std::invalid_argument);
+    EXPECT_NO_THROW(chart.set_y_range(0.0, 10.0));
+}
+
+TEST(AsciiChart, MultipleSeriesDistinctGlyphs) {
+    AsciiChart chart(40, 8);
+    chart.add_series({"a", {1, 1, 1}});
+    chart.add_series({"b", {2, 2, 2}});
+    const auto out = chart.render();
+    EXPECT_NE(out.find("*=a"), std::string::npos);
+    EXPECT_NE(out.find("o=b"), std::string::npos);
+}
+
+TEST(Downsample, ShortInputPassthrough) {
+    const std::vector<double> v{1, 2, 3};
+    EXPECT_EQ(downsample(v, 10), v);
+}
+
+TEST(Downsample, AveragesBuckets) {
+    std::vector<double> v;
+    for (int i = 0; i < 100; ++i) v.push_back(static_cast<double>(i));
+    const auto d = downsample(v, 10);
+    ASSERT_EQ(d.size(), 10u);
+    EXPECT_NEAR(d[0], 4.5, 1e-12);  // mean of 0..9
+    EXPECT_NEAR(d[9], 94.5, 1e-12); // mean of 90..99
+}
+
+TEST(Downsample, PreservesGlobalMean) {
+    std::vector<double> v;
+    for (int i = 0; i < 1000; ++i) v.push_back(std::sin(i * 0.01) * 50 + 100);
+    const auto d = downsample(v, 40);
+    double m1 = 0;
+    for (const double x : v) m1 += x;
+    m1 /= static_cast<double>(v.size());
+    double m2 = 0;
+    for (const double x : d) m2 += x;
+    m2 /= static_cast<double>(d.size());
+    EXPECT_NEAR(m1, m2, 0.5);
+}
+
+TEST(Downsample, EmptyInput) {
+    EXPECT_TRUE(downsample({}, 5).empty());
+}
+
+TEST(Downsample, ZeroBucketsThrows) {
+    EXPECT_THROW((void)downsample({1.0}, 0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace lotus::util

@@ -1,0 +1,209 @@
+// lotus_run: command-line experiment runner.
+//
+// Runs one (device, detector, dataset, governor) experiment and prints the
+// paper-style summary; optionally dumps the per-iteration trace to CSV and
+// renders trace charts. This is the "do one run" front end a downstream
+// user reaches for before scripting the bench harnesses.
+//
+//   lotus_run --device orin --detector frcnn --dataset kitti --governor lotus
+//   lotus_run --governor fixed:7,5 --iterations 500 --chart
+//   lotus_run --device mi11 --governor ztt --pretrain 2000 --csv out.csv
+//
+// Flags (all optional):
+//   --device     orin | mi11                        (default orin)
+//   --detector   frcnn | mrcnn | yolo               (default frcnn)
+//   --dataset    kitti | visdrone                   (default kitti)
+//   --governor   default | ztt | lotus | performance | powersave | random
+//              | ondemand | conservative | fixed:<cpu>,<gpu>   (default lotus)
+//   --iterations N   measured frames                (default 3000 / 1000)
+//   --pretrain   N   unrecorded training frames     (default 2500; agents only)
+//   --seed       S   experiment seed                (default 42)
+//   --constraint MS  latency constraint override in milliseconds
+//   --csv PATH       write the per-iteration trace as CSV
+//   --chart          render temperature/latency ASCII charts
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "lotus_repro.hpp"
+
+using namespace lotus;
+
+namespace {
+
+struct Options {
+    std::string device = "orin";
+    std::string detector = "frcnn";
+    std::string dataset = "kitti";
+    std::string governor = "lotus";
+    std::size_t iterations = 0; // 0 -> device default
+    std::size_t pretrain = 2500;
+    std::uint64_t seed = 42;
+    double constraint_ms = 0.0; // 0 -> preset
+    std::string csv_path;
+    bool chart = false;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+    std::fprintf(stderr, "lotus_run: %s\n(see the header of tools/lotus_run.cpp for usage)\n",
+                 message.c_str());
+    std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+    Options opt;
+    const auto need_value = [&](int& i) -> std::string {
+        if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--device") {
+            opt.device = need_value(i);
+        } else if (flag == "--detector") {
+            opt.detector = need_value(i);
+        } else if (flag == "--dataset") {
+            opt.dataset = need_value(i);
+        } else if (flag == "--governor") {
+            opt.governor = need_value(i);
+        } else if (flag == "--iterations") {
+            opt.iterations = static_cast<std::size_t>(std::stoull(need_value(i)));
+        } else if (flag == "--pretrain") {
+            opt.pretrain = static_cast<std::size_t>(std::stoull(need_value(i)));
+        } else if (flag == "--seed") {
+            opt.seed = std::stoull(need_value(i));
+        } else if (flag == "--constraint") {
+            opt.constraint_ms = std::stod(need_value(i));
+        } else if (flag == "--csv") {
+            opt.csv_path = need_value(i);
+        } else if (flag == "--chart") {
+            opt.chart = true;
+        } else if (flag == "--help" || flag == "-h") {
+            std::printf("see the header comment of tools/lotus_run.cpp for usage\n");
+            std::exit(0);
+        } else {
+            usage_error("unknown flag " + flag);
+        }
+    }
+    return opt;
+}
+
+detector::DetectorKind parse_detector(const std::string& s) {
+    if (s == "frcnn" || s == "faster_rcnn") return detector::DetectorKind::faster_rcnn;
+    if (s == "mrcnn" || s == "mask_rcnn") return detector::DetectorKind::mask_rcnn;
+    if (s == "yolo" || s == "yolov5") return detector::DetectorKind::yolo_v5;
+    usage_error("unknown detector " + s);
+}
+
+std::unique_ptr<governors::Governor> make_governor(const Options& opt,
+                                                   const platform::DeviceSpec& spec) {
+    const auto cpu_levels = spec.cpu.opp.num_levels();
+    const auto gpu_levels = spec.gpu.opp.num_levels();
+    const bool orin = spec.name.find("orin") != std::string::npos;
+    const std::string& g = opt.governor;
+
+    if (g == "default") {
+        return std::make_unique<governors::DefaultGovernor>(
+            orin ? governors::DefaultGovernor::orin_nano()
+                 : governors::DefaultGovernor::mi11_lite());
+    }
+    if (g == "ondemand" || g == "conservative") {
+        return std::make_unique<governors::KernelGovernor>(
+            g + "+simple_ondemand",
+            g == "ondemand" ? governors::CpuPolicyKind::ondemand
+                            : governors::CpuPolicyKind::conservative,
+            governors::SimpleOndemandParams{});
+    }
+    if (g == "ztt") {
+        governors::ZttConfig cfg;
+        cfg.t_thres_celsius = platform::reward_threshold_celsius(spec);
+        cfg.seed = opt.seed ^ 0xA5;
+        return std::make_unique<governors::ZttGovernor>(cpu_levels, gpu_levels, cfg);
+    }
+    if (g == "lotus") {
+        core::LotusConfig cfg;
+        cfg.reward.t_thres_celsius = platform::reward_threshold_celsius(spec);
+        cfg.seed = opt.seed ^ 0x5A;
+        return std::make_unique<core::LotusAgent>(cpu_levels, gpu_levels, cfg);
+    }
+    if (g == "performance") return std::make_unique<governors::PerformanceGovernor>();
+    if (g == "powersave") return std::make_unique<governors::PowersaveGovernor>();
+    if (g == "random") return std::make_unique<governors::RandomGovernor>(opt.seed);
+    if (g.rfind("fixed:", 0) == 0) {
+        const auto spec_str = g.substr(6);
+        const auto comma = spec_str.find(',');
+        if (comma == std::string::npos) usage_error("fixed wants fixed:<cpu>,<gpu>");
+        const auto cpu = static_cast<std::size_t>(std::stoul(spec_str.substr(0, comma)));
+        const auto gpu = static_cast<std::size_t>(std::stoul(spec_str.substr(comma + 1)));
+        return std::make_unique<governors::FixedGovernor>(cpu, gpu);
+    }
+    usage_error("unknown governor " + g);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const auto opt = parse(argc, argv);
+
+    const bool orin = opt.device == "orin" || opt.device == "jetson";
+    if (!orin && opt.device != "mi11" && opt.device != "mi-11-lite") {
+        usage_error("unknown device " + opt.device);
+    }
+    const auto spec = orin ? platform::orin_nano_spec() : platform::mi11_lite_spec();
+    const auto kind = parse_detector(opt.detector);
+    const std::string dataset =
+        (opt.dataset == "kitti" || opt.dataset == "KITTI") ? "KITTI" : "VisDrone2019";
+    const std::size_t iterations =
+        opt.iterations > 0 ? opt.iterations : (orin ? 3000 : 1000);
+
+    auto cfg = runtime::static_experiment(spec, kind, dataset, iterations, opt.pretrain,
+                                          opt.seed);
+    if (opt.constraint_ms > 0.0) {
+        cfg.schedule = workload::DomainSchedule::constant(dataset, opt.constraint_ms / 1e3);
+    }
+
+    auto governor = make_governor(opt, spec);
+    if (governor->decision_overhead_s() == 0.0) cfg.pretrain_iterations = 0;
+
+    std::printf("lotus_run: %s + %s + %s under %s (%zu iterations, seed %llu, L=%.0f ms)\n",
+                spec.name.c_str(), detector::to_string(kind), dataset.c_str(),
+                governor->name().c_str(), iterations,
+                static_cast<unsigned long long>(opt.seed),
+                cfg.schedule.at(0).latency_constraint_s * 1e3);
+
+    runtime::ExperimentRunner runner(cfg);
+    const auto trace = runner.run(*governor);
+    const auto s = trace.summary();
+
+    util::TextTable table({"metric", "value"});
+    table.add_row({"mean latency (ms)", util::format_double(s.mean_latency_s * 1e3, 1)});
+    table.add_row({"latency std (ms)", util::format_double(s.std_latency_s * 1e3, 1)});
+    table.add_row({"satisfaction rate R_L (%)",
+                   util::format_double(s.satisfaction_rate * 100.0, 1)});
+    table.add_row({"mean device temp (C)", util::format_double(s.mean_device_temp, 1)});
+    table.add_row({"max device temp (C)", util::format_double(s.max_device_temp, 1)});
+    table.add_row({"mean power (W)", util::format_double(s.mean_power_w, 1)});
+    table.add_row({"throttled frames (%)",
+                   util::format_double(s.throttled_fraction * 100.0, 1)});
+    table.add_row({"mean proposals", util::format_double(s.mean_proposals, 1)});
+    std::printf("%s", table.render("summary").c_str());
+
+    if (opt.chart) {
+        util::AsciiChart temp_chart(100, 12);
+        temp_chart.add_series({"T_dev", util::downsample(trace.device_temps(), 100)});
+        temp_chart.add_reference_line(platform::throttle_bound_celsius(spec), "trip");
+        std::printf("%s\n", temp_chart.render("device temperature", "C").c_str());
+        util::AsciiChart lat_chart(100, 12);
+        lat_chart.add_series({"latency", util::downsample(trace.latencies_ms(), 100)});
+        lat_chart.add_reference_line(cfg.schedule.at(0).latency_constraint_s * 1e3, "L");
+        std::printf("%s\n", lat_chart.render("latency", "ms").c_str());
+    }
+    if (!opt.csv_path.empty()) {
+        trace.write_csv(opt.csv_path);
+        std::printf("trace written to %s (%zu rows)\n", opt.csv_path.c_str(), trace.size());
+    }
+    return 0;
+}
