@@ -10,6 +10,9 @@
 //                              for the slimmable single net)
 //   * zTT-style cool-down   -- random-lower forever when hot; the agent
 //                              never learns hot-state behaviour (Sec. 4.3.5)
+//
+// The arm set lives in the registry's "ablation_design" scenario; the six
+// episodes run concurrently on the harness pool.
 
 #include <cstdio>
 
@@ -18,53 +21,14 @@
 using namespace lotus;
 
 int main() {
-    const auto spec = platform::orin_nano_spec();
+    const auto& sc = bench::scenario("ablation_design");
     std::printf("Ablation -- LOTUS design choices on Orin Nano + FasterRCNN + "
                 "VisDrone2019 (%zu iterations)\n\n",
-                bench::orin_iterations());
+                sc.config.iterations);
 
-    auto cfg = runtime::static_experiment(spec, detector::DetectorKind::faster_rcnn,
-                                          "VisDrone2019", bench::orin_iterations(),
-                                          bench::pretrain_iterations(), /*seed=*/81);
-
-    const auto base = [&] {
-        core::LotusConfig c;
-        c.reward.t_thres_celsius = platform::reward_threshold_celsius(spec);
-        c.seed = 17;
-        return c;
-    };
-
-    std::vector<bench::Arm> arms;
-    arms.push_back(bench::lotus_arm_with(spec, "Lotus(full)", base()));
-    {
-        auto c = base();
-        c.decision_mode = core::DecisionMode::frame_start_only;
-        arms.push_back(bench::lotus_arm_with(spec, "frame-start-only", c));
-    }
-    {
-        auto c = base();
-        c.decision_mode = core::DecisionMode::post_rpn_only;
-        arms.push_back(bench::lotus_arm_with(spec, "post-rpn-only", c));
-    }
-    {
-        auto c = base();
-        c.use_two_networks = true;
-        arms.push_back(bench::lotus_arm_with(spec, "two-networks", c));
-    }
-    {
-        auto c = base();
-        c.ztt_style_cooldown = true;
-        arms.push_back(bench::lotus_arm_with(spec, "ztt-cooldown", c));
-    }
-    {
-        auto c = base();
-        c.double_dqn = true;
-        arms.push_back(bench::lotus_arm_with(spec, "double-dqn", c));
-    }
-
-    auto results = bench::run_arms(cfg, std::move(arms));
+    const auto results = bench::run(sc);
     bench::print_table_block("ablation arms", results);
-    bench::maybe_dump_csv("ablation", results);
+    bench::maybe_dump_csv(sc.name, results);
 
     std::printf("\nExpected shape: the full design attains the lowest sigma_l at\n"
                 "comparable or better mean latency; frame-start-only loses variance\n"

@@ -19,36 +19,30 @@ using namespace lotus;
 int main() {
     std::printf("Fig. 1 -- latency mean/variation and mAP@0.5 per detector and dataset\n");
     std::printf("(Jetson Orin Nano, stock governors, %zu iterations per cell)\n\n",
-                bench::orin_iterations());
+                harness::orin_iterations());
 
     util::TextTable table({"dataset", "detector", "mean (ms)", "std (ms)",
                            "p5 (ms)", "p95 (ms)", "mAP@0.5 (paper)"});
 
-    const auto spec = platform::orin_nano_spec();
-    for (const char* dataset : {"KITTI", "VisDrone2019"}) {
-        for (const auto kind :
-             {detector::DetectorKind::faster_rcnn, detector::DetectorKind::mask_rcnn,
-              detector::DetectorKind::yolo_v5}) {
-            auto cfg = runtime::static_experiment(spec, kind, dataset,
-                                                  bench::orin_iterations(),
-                                                  /*pretrain=*/0, /*seed=*/2024);
-            auto results = bench::run_arms(cfg, {bench::default_arm(spec)});
-            const auto& trace = results[0].trace;
-            const auto s = trace.summary();
-            const auto lat = trace.latencies_ms();
+    // One registry scenario per dataset; one arm per detector.
+    for (const char* name : {"fig1_kitti", "fig1_visdrone"}) {
+        const auto& sc = bench::scenario(name);
+        const auto results = bench::run(sc);
+        for (const auto& r : results) {
+            const auto s = r.trace.summary();
+            const auto lat = r.trace.latencies_ms();
+            const auto& dataset = r.config.schedule.at(0).dataset;
             table.add_row({
                 dataset,
-                detector::to_string(kind),
+                r.arm, // arm name == detector name in the Fig. 1 scenarios
                 util::format_double(s.mean_latency_s * 1e3, 1),
                 util::format_double(s.std_latency_s * 1e3, 1),
                 util::format_double(util::percentile(lat, 5), 1),
                 util::format_double(util::percentile(lat, 95), 1),
-                util::format_double(workload::map50(kind, dataset), 1),
+                util::format_double(workload::map50(r.config.detector, dataset), 1),
             });
-            bench::maybe_dump_csv(std::string("fig1_") + dataset + "_" +
-                                      detector::to_string(kind),
-                                  results);
         }
+        bench::maybe_dump_csv(sc.name, results);
     }
     std::printf("%s\n", table.render("Fig. 1 (measured latency; mAP from paper)").c_str());
     std::printf("Expected shape: two-stage detectors show std an order of magnitude\n"

@@ -2,7 +2,11 @@
 // of the RPN proposal count, for FasterRCNN and MaskRCNN, at a fixed
 // CPU/GPU frequency (the paper pins the frequency and scatters per-image
 // measurements; we sweep the proposal count directly).
+//
+// Each sweep point is one cold-start single-frame episode of the
+// fig2_*_sweep probe scenarios; the harness runs all points in parallel.
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common.hpp"
@@ -11,38 +15,34 @@ using namespace lotus;
 
 namespace {
 
-void sweep(const detector::DetectorModel& model, int max_proposals, int step) {
-    const auto spec = platform::orin_nano_spec();
-    platform::EdgeDevice device(spec);
-    runtime::InferenceEngine engine(device);
-    // Fixed mid-ladder frequency as in the paper's profiling setup.
-    governors::FixedGovernor governor(5, 3);
+void sweep(const char* scenario_name) {
+    const auto& sc = bench::scenario(scenario_name);
+    const auto results = bench::run(sc);
 
-    std::printf("%s (CPU pinned to %.0f MHz, GPU to %.0f MHz)\n", model.name().c_str(),
-                spec.cpu.opp.freq(5) / 1e6, spec.gpu.opp.freq(3) / 1e6);
+    // Probe episodes are exactly one frame each; the pinned levels and the
+    // proposal counts come from the executed traces, not from re-stating the
+    // registry's constants.
+    const auto& spec = sc.config.device_spec;
+    const auto& first = results.front().trace[0];
+    std::printf("%s (CPU pinned to %.0f MHz, GPU to %.0f MHz)\n",
+                detector::to_string(sc.config.detector),
+                spec.cpu.opp.freq(first.cpu_level) / 1e6,
+                spec.gpu.opp.freq(first.gpu_level) / 1e6);
     util::TextTable table({"#proposals", "stage2 (ms)", "stage1 (ms)", "total (ms)",
                            "stage2 share (%)"});
-    std::vector<double> xs;
     std::vector<double> ys;
-    for (int p = 0; p <= max_proposals; p += step) {
-        workload::FrameSample frame;
-        frame.proposals = p;
-        frame.resolution_scale = 1.0;
-        frame.complexity = 1.0;
-        frame.jitter = 1.0;
-        device.reset();
-        engine.reset();
-        const auto r = engine.run_frame(model, frame, governor, 10.0,
-                                        static_cast<std::size_t>(p));
+    int max_proposals = 0;
+    for (const auto& r : results) {
+        const auto& row = r.trace[0];
         table.add_row({
-            std::to_string(p),
-            util::format_double(r.stage2_s * 1e3, 2),
-            util::format_double(r.stage1_s * 1e3, 2),
-            util::format_double(r.latency_s * 1e3, 2),
-            util::format_double(100.0 * r.stage2_s / r.latency_s, 1),
+            std::to_string(row.proposals),
+            util::format_double(row.stage2_s * 1e3, 2),
+            util::format_double(row.stage1_s * 1e3, 2),
+            util::format_double(row.latency_s * 1e3, 2),
+            util::format_double(100.0 * row.stage2_s / row.latency_s, 1),
         });
-        xs.push_back(static_cast<double>(p));
-        ys.push_back(r.stage2_s * 1e3);
+        ys.push_back(row.stage2_s * 1e3);
+        max_proposals = std::max(max_proposals, row.proposals);
     }
     std::printf("%s", table.render().c_str());
 
@@ -60,8 +60,8 @@ void sweep(const detector::DetectorModel& model, int max_proposals, int step) {
 int main() {
     std::printf("Fig. 2 -- second-stage latency vs number of proposals\n\n");
     // Axis ranges follow the paper's panels: FasterRCNN 0..600, MaskRCNN 0..300.
-    sweep(detector::faster_rcnn_r50(), 600, 60);
-    sweep(detector::mask_rcnn_r50(), 300, 30);
+    sweep("fig2_frcnn_sweep");
+    sweep("fig2_mrcnn_sweep");
     std::printf("Expected shape: near-linear growth; the MaskRCNN slope (per-proposal\n"
                 "mask head) is several times the FasterRCNN slope, so its panel reaches\n"
                 "~200 ms at 300 proposals while FasterRCNN reaches ~100 ms at 600.\n");

@@ -9,22 +9,14 @@
 using namespace lotus;
 
 int main() {
-    const auto spec = platform::orin_nano_spec();
     std::printf("Fig. 5 -- Jetson Orin Nano + MaskRCNN: default vs zTT vs Lotus\n\n");
 
-    for (const char* dataset : {"VisDrone2019", "KITTI"}) {
-        auto cfg = runtime::static_experiment(spec, detector::DetectorKind::mask_rcnn,
-                                              dataset, bench::orin_iterations(),
-                                              bench::pretrain_iterations(),
-                                              /*seed=*/2025);
-        auto results = bench::run_arms(
-            cfg, {bench::default_arm(spec), bench::ztt_arm(spec), bench::lotus_arm(spec)});
-
-        const double constraint_ms = cfg.schedule.at(0).latency_constraint_s * 1e3;
-        bench::print_figure(std::string("Fig. 5 (") + dataset + ")", results,
-                            platform::throttle_bound_celsius(spec), constraint_ms);
+    for (const char* name : {"fig5_visdrone", "fig5_kitti"}) {
+        const auto& sc = bench::scenario(name);
+        const auto results = bench::run(sc);
+        bench::print_figure(sc.title, results);
         bench::print_table_block("summary", results);
-        bench::maybe_dump_csv(std::string("fig5_") + dataset, results);
+        bench::maybe_dump_csv(sc.name, results);
         std::printf("\n");
     }
     std::printf("Expected shape: as Fig. 4, with larger absolute latencies and spreads;\n"

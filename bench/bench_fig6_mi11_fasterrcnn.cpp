@@ -10,22 +10,14 @@
 using namespace lotus;
 
 int main() {
-    const auto spec = platform::mi11_lite_spec();
     std::printf("Fig. 6 -- Mi 11 Lite + FasterRCNN: default vs zTT vs Lotus\n\n");
 
-    for (const char* dataset : {"VisDrone2019", "KITTI"}) {
-        auto cfg = runtime::static_experiment(spec, detector::DetectorKind::faster_rcnn,
-                                              dataset, bench::mi11_iterations(),
-                                              bench::mi11_pretrain_iterations(),
-                                              /*seed=*/2026);
-        auto results = bench::run_arms(
-            cfg, {bench::default_arm(spec), bench::ztt_arm(spec), bench::lotus_arm(spec)});
-
-        const double constraint_ms = cfg.schedule.at(0).latency_constraint_s * 1e3;
-        bench::print_figure(std::string("Fig. 6 (") + dataset + ")", results,
-                            platform::throttle_bound_celsius(spec), constraint_ms);
+    for (const char* name : {"fig6_visdrone", "fig6_kitti"}) {
+        const auto& sc = bench::scenario(name);
+        const auto results = bench::run(sc);
+        bench::print_figure(sc.title, results);
         bench::print_table_block("summary", results);
-        bench::maybe_dump_csv(std::string("fig6_") + dataset, results);
+        bench::maybe_dump_csv(sc.name, results);
         std::printf("\n");
     }
     std::printf("Expected shape: the same ordering as the Jetson figures inside a much\n"

@@ -9,26 +9,16 @@
 using namespace lotus;
 
 int main() {
-    const auto spec = platform::orin_nano_spec();
-    const auto iterations = bench::orin_iterations();
+    const auto& sc = bench::scenario("fig7a_temp_changes");
+    const auto iterations = sc.config.iterations;
     const auto third = iterations / 3;
 
     std::printf("Fig. 7a -- temperature changes (warm 25C / cold 0C / warm 25C)\n");
     std::printf("MaskRCNN + VisDrone2019 on Jetson Orin Nano, %zu iterations\n\n",
                 iterations);
 
-    auto cfg = runtime::static_experiment(spec, detector::DetectorKind::mask_rcnn,
-                                          "VisDrone2019", iterations,
-                                          bench::pretrain_iterations(), /*seed=*/71);
-    cfg.ambient = workload::AmbientProfile::zones(
-        {{0, 25.0}, {third, 0.0}, {2 * third, 25.0}});
-
-    auto results = bench::run_arms(
-        cfg, {bench::default_arm(spec), bench::ztt_arm(spec), bench::lotus_arm(spec)});
-
-    const double constraint_ms = cfg.schedule.at(0).latency_constraint_s * 1e3;
-    bench::print_figure("Fig. 7a traces", results,
-                        platform::throttle_bound_celsius(spec), constraint_ms);
+    const auto results = bench::run(sc);
+    bench::print_figure("Fig. 7a traces", results);
 
     // Per-zone summaries: the paper's claim is fast, smooth adaptation at
     // each boundary.
@@ -38,13 +28,13 @@ int main() {
         const auto warm2 = r.trace.summary(2 * third, iterations);
         std::printf("%-10s warm1: %6.1f ms / R_L %5.1f%% | cold: %6.1f ms / R_L %5.1f%% "
                     "| warm2: %6.1f ms / R_L %5.1f%%  (T_dev %4.1f / %4.1f / %4.1f C)\n",
-                    r.name.c_str(), warm1.mean_latency_s * 1e3,
+                    r.arm.c_str(), warm1.mean_latency_s * 1e3,
                     warm1.satisfaction_rate * 100, cold.mean_latency_s * 1e3,
                     cold.satisfaction_rate * 100, warm2.mean_latency_s * 1e3,
                     warm2.satisfaction_rate * 100, warm1.mean_device_temp,
                     cold.mean_device_temp, warm2.mean_device_temp);
     }
-    bench::maybe_dump_csv("fig7a", results);
+    bench::maybe_dump_csv(sc.name, results);
     std::printf("\nExpected shape: in the cold zone every method cools and speeds up\n"
                 "(more thermal headroom); Lotus exploits it most while staying stable,\n"
                 "and re-adapts fastest when the warm zone returns.\n");

@@ -9,39 +9,19 @@
 using namespace lotus;
 
 int main() {
-    const auto spec = platform::orin_nano_spec();
-    const auto iterations = bench::orin_iterations();
-    const auto half = iterations / 2;
-
-    const double l_kitti = workload::latency_constraint_s(
-        spec.name, detector::DetectorKind::faster_rcnn, "KITTI");
-    const double l_visdrone = workload::latency_constraint_s(
-        spec.name, detector::DetectorKind::faster_rcnn, "VisDrone2019");
+    const auto& sc = bench::scenario("fig7b_domain_changes");
+    const auto iterations = sc.config.iterations;
+    const auto& segments = sc.config.schedule.all();
+    const auto half = segments.at(1).first_iteration;
 
     std::printf("Fig. 7b -- domain changes (KITTI -> VisDrone2019 at iteration %zu)\n",
                 half);
     std::printf("FasterRCNN on Jetson Orin Nano, %zu iterations, L: %.0f -> %.0f ms\n\n",
-                iterations, l_kitti * 1e3, l_visdrone * 1e3);
+                iterations, segments.at(0).latency_constraint_s * 1e3,
+                segments.at(1).latency_constraint_s * 1e3);
 
-    runtime::ExperimentConfig cfg{
-        .device_spec = spec,
-        .detector = detector::DetectorKind::faster_rcnn,
-        .schedule = workload::DomainSchedule::segments({
-            {0, "KITTI", l_kitti},
-            {half, "VisDrone2019", l_visdrone},
-        }),
-        .ambient = workload::AmbientProfile::constant(25.0),
-        .iterations = iterations,
-        .pretrain_iterations = bench::pretrain_iterations(),
-        .seed = 72,
-        .engine = {},
-    };
-
-    auto results = bench::run_arms(
-        cfg, {bench::default_arm(spec), bench::ztt_arm(spec), bench::lotus_arm(spec)});
-
-    bench::print_figure("Fig. 7b traces", results,
-                        platform::throttle_bound_celsius(spec), l_visdrone * 1e3);
+    const auto results = bench::run(sc);
+    bench::print_figure("Fig. 7b traces", results);
 
     for (const auto& r : results) {
         const auto kitti = r.trace.summary(0, half);
@@ -50,11 +30,11 @@ int main() {
         const auto adapt = r.trace.summary(half, half + iterations / 10);
         std::printf("%-10s KITTI: %6.1f ms / R_L %5.1f%% | VisDrone: %6.1f ms / R_L "
                     "%5.1f%% | first-tenth after switch: R_L %5.1f%%\n",
-                    r.name.c_str(), kitti.mean_latency_s * 1e3,
+                    r.arm.c_str(), kitti.mean_latency_s * 1e3,
                     kitti.satisfaction_rate * 100, visdrone.mean_latency_s * 1e3,
                     visdrone.satisfaction_rate * 100, adapt.satisfaction_rate * 100);
     }
-    bench::maybe_dump_csv("fig7b", results);
+    bench::maybe_dump_csv(sc.name, results);
     std::printf("\nExpected shape: all methods jump in latency at the switch (bigger\n"
                 "inputs, more proposals); Lotus recovers a stable band fastest and keeps\n"
                 "the highest satisfaction rate in both domains.\n");

@@ -1,7 +1,7 @@
 // Table 1 reproduction: quantitative results on the Jetson Orin Nano.
 // For each (detector, dataset) cell: mean latency l-bar, latency std
 // sigma_l and satisfaction rate R_L for default / zTT / LOTUS, printed next
-// to the paper's reported values.
+// to the paper's reported values (attached to the registry arms).
 
 #include <cstdio>
 
@@ -9,56 +9,18 @@
 
 using namespace lotus;
 
-namespace {
-
-struct Cell {
-    detector::DetectorKind kind;
-    const char* dataset;
-    bench::PaperRow paper_default;
-    bench::PaperRow paper_ztt;
-    bench::PaperRow paper_lotus;
-    std::uint64_t seed;
-};
-
-} // namespace
-
 int main() {
-    const auto spec = platform::orin_nano_spec();
     std::printf("Table 1 -- quantitative results on Jetson Orin Nano\n");
     std::printf("(%zu measured iterations per arm; learning governors pre-trained for "
                 "%zu frames)\n\n",
-                bench::orin_iterations(), bench::pretrain_iterations());
+                harness::orin_iterations(), harness::pretrain_iterations());
 
-    // Paper values from Table 1 (l-bar ms, sigma_l ms, R_L).
-    const Cell cells[] = {
-        {detector::DetectorKind::faster_rcnn, "KITTI",
-         {434.6, 139.8, 0.514}, {363.7, 85.6, 0.555}, {343.2, 68.6, 0.665}, 41},
-        {detector::DetectorKind::faster_rcnn, "VisDrone2019",
-         {686.0, 241.1, 0.294}, {577.6, 167.5, 0.463}, {523.5, 102.9, 0.711}, 42},
-        {detector::DetectorKind::mask_rcnn, "KITTI",
-         {443.9, 148.0, 0.598}, {408.3, 111.7, 0.871}, {388.5, 88.9, 0.952}, 43},
-        {detector::DetectorKind::mask_rcnn, "VisDrone2019",
-         {768.4, 260.4, 0.390}, {584.3, 114.2, 0.501}, {531.4, 70.7, 0.749}, 44},
-    };
-
-    for (const auto& cell : cells) {
-        auto cfg = runtime::static_experiment(spec, cell.kind, cell.dataset,
-                                              bench::orin_iterations(),
-                                              bench::pretrain_iterations(), cell.seed);
-        auto arm_default = bench::default_arm(spec);
-        arm_default.paper = cell.paper_default;
-        auto arm_ztt = bench::ztt_arm(spec, cell.seed * 7 + 1);
-        arm_ztt.paper = cell.paper_ztt;
-        auto arm_lotus = bench::lotus_arm(spec, cell.seed * 7 + 2);
-        arm_lotus.paper = cell.paper_lotus;
-
-        auto results = bench::run_arms(cfg, {arm_default, arm_ztt, arm_lotus});
-        bench::print_table_block(std::string(detector::to_string(cell.kind)) + " / " +
-                                     cell.dataset,
-                                 results);
-        bench::maybe_dump_csv(std::string("table1_") + detector::to_string(cell.kind) +
-                                  "_" + cell.dataset,
-                              results);
+    for (const char* name : {"table1_frcnn_kitti", "table1_frcnn_visdrone",
+                             "table1_mrcnn_kitti", "table1_mrcnn_visdrone"}) {
+        const auto& sc = bench::scenario(name);
+        const auto results = bench::run(sc);
+        bench::print_table_block(sc.title, results);
+        bench::maybe_dump_csv(sc.name, results);
         std::printf("\n");
     }
     std::printf("Shape targets (absolute numbers differ; the substrate is a simulator):\n"

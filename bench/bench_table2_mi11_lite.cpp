@@ -1,5 +1,6 @@
 // Table 2 reproduction: quantitative results on the Mi 11 Lite (1,000
-// measured iterations per arm), printed next to the paper's values.
+// measured iterations per arm), printed next to the paper's values
+// (attached to the registry arms).
 
 #include <cstdio>
 
@@ -7,55 +8,18 @@
 
 using namespace lotus;
 
-namespace {
-
-struct Cell {
-    detector::DetectorKind kind;
-    const char* dataset;
-    bench::PaperRow paper_default;
-    bench::PaperRow paper_ztt;
-    bench::PaperRow paper_lotus;
-    std::uint64_t seed;
-};
-
-} // namespace
-
 int main() {
-    const auto spec = platform::mi11_lite_spec();
     std::printf("Table 2 -- quantitative results on Mi 11 Lite 5G\n");
     std::printf("(%zu measured iterations per arm; learning governors pre-trained for "
                 "%zu frames)\n\n",
-                bench::mi11_iterations(), bench::mi11_pretrain_iterations());
+                harness::mi11_iterations(), harness::mi11_pretrain_iterations());
 
-    const Cell cells[] = {
-        {detector::DetectorKind::faster_rcnn, "KITTI",
-         {1377.5, 525.1, 0.709}, {1260.9, 448.2, 0.833}, {1185.8, 429.9, 0.897}, 51},
-        {detector::DetectorKind::faster_rcnn, "VisDrone2019",
-         {2728.0, 761.5, 0.633}, {2509.7, 649.3, 0.797}, {2421.0, 558.7, 0.925}, 52},
-        {detector::DetectorKind::mask_rcnn, "KITTI",
-         {1652.1, 781.8, 0.613}, {1582.7, 610.5, 0.798}, {1429.5, 552.3, 0.915}, 53},
-        {detector::DetectorKind::mask_rcnn, "VisDrone2019",
-         {3241.9, 725.5, 0.401}, {2972.5, 621.7, 0.594}, {2649.5, 591.2, 0.838}, 54},
-    };
-
-    for (const auto& cell : cells) {
-        auto cfg = runtime::static_experiment(spec, cell.kind, cell.dataset,
-                                              bench::mi11_iterations(),
-                                              bench::mi11_pretrain_iterations(), cell.seed);
-        auto arm_default = bench::default_arm(spec);
-        arm_default.paper = cell.paper_default;
-        auto arm_ztt = bench::ztt_arm(spec, cell.seed * 7 + 1);
-        arm_ztt.paper = cell.paper_ztt;
-        auto arm_lotus = bench::lotus_arm(spec, cell.seed * 7 + 2);
-        arm_lotus.paper = cell.paper_lotus;
-
-        auto results = bench::run_arms(cfg, {arm_default, arm_ztt, arm_lotus});
-        bench::print_table_block(std::string(detector::to_string(cell.kind)) + " / " +
-                                     cell.dataset,
-                                 results);
-        bench::maybe_dump_csv(std::string("table2_") + detector::to_string(cell.kind) +
-                                  "_" + cell.dataset,
-                              results);
+    for (const char* name : {"table2_frcnn_kitti", "table2_frcnn_visdrone",
+                             "table2_mrcnn_kitti", "table2_mrcnn_visdrone"}) {
+        const auto& sc = bench::scenario(name);
+        const auto results = bench::run(sc);
+        bench::print_table_block(sc.title, results);
+        bench::maybe_dump_csv(sc.name, results);
         std::printf("\n");
     }
     std::printf("Shape targets: same per-cell ordering as Table 1, at ~3-4x the Jetson's\n"

@@ -1,10 +1,6 @@
 #include "common.hpp"
 
-#include <cctype>
-#include <cstdio>
 #include <cstdlib>
-#include <filesystem>
-#include <thread>
 
 namespace lotus::bench {
 
@@ -15,163 +11,40 @@ bool env_flag(const char* name) {
     return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
 
-std::string sanitize(std::string s) {
-    for (auto& c : s) {
-        if (!(std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' || c == '_')) {
-            c = '_';
+const harness::ExperimentHarness& shared_harness() {
+    static const harness::ExperimentHarness h([] {
+        harness::HarnessConfig cfg;
+        if (const char* jobs = std::getenv("LOTUS_BENCH_JOBS")) {
+            const auto v = std::strtoull(jobs, nullptr, 10);
+            if (v > 0) cfg.jobs = static_cast<std::size_t>(v);
         }
-    }
-    return s;
+        return cfg;
+    }());
+    return h;
 }
 
 } // namespace
 
-Arm default_arm(const platform::DeviceSpec& spec) {
-    const bool orin = spec.name.find("orin") != std::string::npos;
-    return Arm{
-        .name = "default",
-        .make =
-            [orin]() -> std::unique_ptr<governors::Governor> {
-            return std::make_unique<governors::DefaultGovernor>(
-                orin ? governors::DefaultGovernor::orin_nano()
-                     : governors::DefaultGovernor::mi11_lite());
-        },
-        .paper = std::nullopt,
-    };
+const Scenario& scenario(const std::string& name) {
+    return harness::ScenarioRegistry::instance().at(name);
 }
 
-Arm ztt_arm(const platform::DeviceSpec& spec, std::uint64_t seed) {
-    const auto cpu_levels = spec.cpu.opp.num_levels();
-    const auto gpu_levels = spec.gpu.opp.num_levels();
-    const double t_thres = platform::reward_threshold_celsius(spec);
-    return Arm{
-        .name = "zTT",
-        .make =
-            [=]() -> std::unique_ptr<governors::Governor> {
-            governors::ZttConfig cfg;
-            cfg.t_thres_celsius = t_thres;
-            cfg.seed = seed;
-            return std::make_unique<governors::ZttGovernor>(cpu_levels, gpu_levels, cfg);
-        },
-        .paper = std::nullopt,
-    };
+std::vector<EpisodeResult> run(const Scenario& s) { return shared_harness().run(s); }
+
+std::vector<EpisodeResult> run(const std::string& name) { return run(scenario(name)); }
+
+void print_figure(const std::string& title, const std::vector<EpisodeResult>& results) {
+    harness::print_figure(title, results);
 }
 
-Arm lotus_arm(const platform::DeviceSpec& spec, std::uint64_t seed) {
-    core::LotusConfig cfg;
-    cfg.reward.t_thres_celsius = platform::reward_threshold_celsius(spec);
-    cfg.seed = seed;
-    return lotus_arm_with(spec, "Lotus", cfg);
+void print_table_block(const std::string& heading,
+                       const std::vector<EpisodeResult>& results) {
+    harness::print_summary_table(heading, results);
 }
 
-Arm lotus_arm_with(const platform::DeviceSpec& spec, const std::string& label,
-                   core::LotusConfig cfg) {
-    const auto cpu_levels = spec.cpu.opp.num_levels();
-    const auto gpu_levels = spec.gpu.opp.num_levels();
-    if (cfg.reward.t_thres_celsius >= platform::throttle_bound_celsius(spec)) {
-        cfg.reward.t_thres_celsius = platform::reward_threshold_celsius(spec);
-    }
-    return Arm{
-        .name = label,
-        .make =
-            [=]() -> std::unique_ptr<governors::Governor> {
-            return std::make_unique<core::LotusAgent>(cpu_levels, gpu_levels, cfg);
-        },
-        .paper = std::nullopt,
-    };
-}
-
-std::vector<ArmResult> run_arms(const runtime::ExperimentConfig& config,
-                                std::vector<Arm> arms) {
-    std::vector<ArmResult> results(arms.size());
-    std::vector<std::thread> threads;
-    threads.reserve(arms.size());
-    for (std::size_t i = 0; i < arms.size(); ++i) {
-        threads.emplace_back([&, i] {
-            auto governor = arms[i].make();
-            // Kernel governors neither learn nor need pre-training; skip the
-            // warm-up phase for them to keep the harness fast.
-            auto cfg = config;
-            if (governor->decision_overhead_s() == 0.0) cfg.pretrain_iterations = 0;
-            runtime::ExperimentRunner runner(cfg);
-            results[i] = ArmResult{arms[i].name, runner.run(*governor), arms[i].paper};
-        });
-    }
-    for (auto& t : threads) t.join();
-    return results;
-}
-
-std::size_t orin_iterations() {
-    return env_flag("LOTUS_BENCH_FAST") ? 600 : 3000;
-}
-
-std::size_t mi11_iterations() {
-    return env_flag("LOTUS_BENCH_FAST") ? 300 : 1000;
-}
-
-std::size_t pretrain_iterations() {
-    return env_flag("LOTUS_BENCH_FAST") ? 500 : 2500;
-}
-
-std::size_t mi11_pretrain_iterations() {
-    return env_flag("LOTUS_BENCH_FAST") ? 500 : 6000;
-}
-
-void print_figure(const std::string& title, const std::vector<ArmResult>& results,
-                  double throttle_bound_c, double constraint_ms) {
-    std::printf("%s\n%s\n", title.c_str(), std::string(title.size(), '=').c_str());
-
-    util::AsciiChart temp_chart(110, 14);
-    for (const auto& r : results) {
-        temp_chart.add_series({r.name, util::downsample(r.trace.device_temps(), 110)});
-    }
-    temp_chart.add_reference_line(throttle_bound_c, "throttling bound");
-    std::printf("%s\n",
-                temp_chart.render("Device temperature over iterations", "deg C").c_str());
-
-    util::AsciiChart lat_chart(110, 14);
-    for (const auto& r : results) {
-        lat_chart.add_series({r.name, util::downsample(r.trace.latencies_ms(), 110)});
-    }
-    lat_chart.add_reference_line(constraint_ms, "latency constraint");
-    std::printf("%s\n", lat_chart.render("Inference latency over iterations", "ms").c_str());
-}
-
-void print_table_block(const std::string& heading, const std::vector<ArmResult>& results) {
-    util::TextTable table({"method", "l-bar (ms)", "sigma_l (ms)", "R_L (%)",
-                           "T_dev (C)", "P (W)", "throttled (%)", "paper l-bar",
-                           "paper sigma", "paper R_L"});
-    for (const auto& r : results) {
-        const auto s = r.trace.summary();
-        std::vector<std::string> row{
-            r.name,
-            util::format_double(s.mean_latency_s * 1e3, 1),
-            util::format_double(s.std_latency_s * 1e3, 1),
-            util::format_double(s.satisfaction_rate * 100.0, 1),
-            util::format_double(s.mean_device_temp, 1),
-            util::format_double(s.mean_power_w, 1),
-            util::format_double(s.throttled_fraction * 100.0, 1),
-        };
-        if (r.paper) {
-            row.push_back(util::format_double(r.paper->mean_ms, 1));
-            row.push_back(util::format_double(r.paper->std_ms, 1));
-            row.push_back(util::format_double(r.paper->satisfaction * 100.0, 1));
-        } else {
-            row.insert(row.end(), {"-", "-", "-"});
-        }
-        table.add_row(std::move(row));
-    }
-    std::printf("%s", table.render(heading).c_str());
-}
-
-void maybe_dump_csv(const std::string& stem, const std::vector<ArmResult>& results) {
+void maybe_dump_csv(const std::string& stem, const std::vector<EpisodeResult>& results) {
     if (!env_flag("LOTUS_BENCH_CSV")) return;
-    std::filesystem::create_directories("bench_out");
-    for (const auto& r : results) {
-        const auto path = "bench_out/" + sanitize(stem) + "_" + sanitize(r.name) + ".csv";
-        r.trace.write_csv(path);
-        std::printf("[csv] wrote %s (%zu rows)\n", path.c_str(), r.trace.size());
-    }
+    harness::write_csv_traces("bench_out", stem, results);
 }
 
 } // namespace lotus::bench

@@ -1,18 +1,14 @@
 #pragma once
-// Shared infrastructure for the paper-reproduction bench harnesses.
+// Thin front-end glue for the paper-reproduction bench binaries.
 //
 // Every bench binary is argument-free and prints the rows/series of one
-// table or figure from the paper. The helpers here standardise:
-//   * governor construction per device (default / zTT / LOTUS),
-//   * multi-run experiment execution (parallelised across governors),
-//   * paper-style figure rendering (temperature + latency ASCII charts with
-//     the red-dashed throttling bound / latency constraint references),
-//   * optional raw-trace CSV dumps (set LOTUS_BENCH_CSV=1; files land in
-//     ./bench_out/).
+// table or figure from the paper. All experiment driving lives in
+// lotus::harness: a bench looks its scenarios up in the ScenarioRegistry,
+// runs them on the shared ExperimentHarness (episodes execute in parallel;
+// LOTUS_BENCH_JOBS overrides the pool size), and renders via the harness
+// sinks. Optional raw-trace CSV dumps: set LOTUS_BENCH_CSV=1; files land in
+// ./bench_out/.
 
-#include <functional>
-#include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,62 +16,22 @@
 
 namespace lotus::bench {
 
-/// Paper reference values for a table cell (used to print the
-/// paper-vs-measured comparison).
-struct PaperRow {
-    double mean_ms = 0.0;
-    double std_ms = 0.0;
-    double satisfaction = 0.0; // fraction
-};
+using harness::EpisodeResult;
+using harness::Scenario;
 
-/// One experiment arm: a named governor factory.
-struct Arm {
-    std::string name;
-    std::function<std::unique_ptr<governors::Governor>()> make;
-    std::optional<PaperRow> paper; // reference numbers if the paper has them
-};
+/// The registry scenario with this name (throws if unknown).
+[[nodiscard]] const Scenario& scenario(const std::string& name);
 
-/// Result of running one arm.
-struct ArmResult {
-    std::string name;
-    runtime::Trace trace;
-    std::optional<PaperRow> paper;
-};
+/// Run one scenario's full arm set on the shared bench harness.
+[[nodiscard]] std::vector<EpisodeResult> run(const Scenario& s);
+[[nodiscard]] std::vector<EpisodeResult> run(const std::string& name);
 
-/// Standard governor arms for a device: default, zTT, LOTUS.
-[[nodiscard]] Arm default_arm(const platform::DeviceSpec& spec);
-[[nodiscard]] Arm ztt_arm(const platform::DeviceSpec& spec, std::uint64_t seed = 11);
-[[nodiscard]] Arm lotus_arm(const platform::DeviceSpec& spec, std::uint64_t seed = 7);
-
-/// LOTUS arm with a customised configuration (ablations).
-[[nodiscard]] Arm lotus_arm_with(const platform::DeviceSpec& spec,
-                                 const std::string& label, core::LotusConfig cfg);
-
-/// Run all arms against the same experiment config, in parallel threads.
-[[nodiscard]] std::vector<ArmResult> run_arms(const runtime::ExperimentConfig& config,
-                                              std::vector<Arm> arms);
-
-/// Number of recorded iterations for figure/table benches on each device
-/// (paper: 3,000 on the Orin Nano, 1,000 on the Mi 11 Lite), and the
-/// pre-training budget for the learning governors (the paper trains for
-/// 10,000 iterations; the phone gets a larger budget because its 1,000
-/// measured frames leave less room for online convergence).
-/// LOTUS_BENCH_FAST=1 shrinks everything for smoke runs.
-[[nodiscard]] std::size_t orin_iterations();
-[[nodiscard]] std::size_t mi11_iterations();
-[[nodiscard]] std::size_t pretrain_iterations();
-[[nodiscard]] std::size_t mi11_pretrain_iterations();
-
-/// Paper-style figure: device-temperature chart over iterations (with the
-/// throttling bound) stacked above a latency chart (with the constraint),
-/// one series per arm.
-void print_figure(const std::string& title, const std::vector<ArmResult>& results,
-                  double throttle_bound_c, double constraint_ms);
-
-/// Paper-style quantitative table block for one (detector, dataset) cell.
-void print_table_block(const std::string& heading, const std::vector<ArmResult>& results);
+/// Paper-style renderers (wrappers over the harness sinks).
+void print_figure(const std::string& title, const std::vector<EpisodeResult>& results);
+void print_table_block(const std::string& heading,
+                       const std::vector<EpisodeResult>& results);
 
 /// Dump raw traces to ./bench_out/<stem>_<arm>.csv when LOTUS_BENCH_CSV=1.
-void maybe_dump_csv(const std::string& stem, const std::vector<ArmResult>& results);
+void maybe_dump_csv(const std::string& stem, const std::vector<EpisodeResult>& results);
 
 } // namespace lotus::bench

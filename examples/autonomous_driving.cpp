@@ -2,13 +2,14 @@
 //
 // A vehicle perception stack runs FasterRCNN continuously; the control loop
 // downstream needs frames at a stable cadence, so the application cares
-// about *tail* latency, not just the mean. This example runs LOTUS against
-// the stock governors and zTT on a long drive (heat-soaked device) and
-// reports p50/p95/p99 latencies and deadline misses -- the tail view of the
-// paper's R_L metric.
+// about *tail* latency, not just the mean. This example runs the registry's
+// "example_autonomous_driving" scenario (LOTUS vs the stock governors vs
+// zTT on a long heat-soaked drive) and reports p50/p95/p99 latencies and
+// deadline misses -- the tail view of the paper's R_L metric.
 //
-// Run: ./build/examples/autonomous_driving
+// Run: ./build/autonomous_driving
 
+#include <algorithm>
 #include <cstdio>
 
 #include "lotus_repro.hpp"
@@ -17,12 +18,9 @@ using namespace lotus;
 
 namespace {
 
-constexpr std::size_t kDriveFrames = 2500;
-
-void report(const char* name, const runtime::Trace& trace) {
+void report(const std::string& name, const runtime::Trace& trace) {
     const auto lat = trace.latencies_ms();
     const auto s = trace.summary();
-    const double deadline_ms = trace[0].constraint_s * 1e3;
     std::size_t misses = 0;
     std::size_t worst_streak = 0;
     std::size_t streak = 0;
@@ -36,48 +34,26 @@ void report(const char* name, const runtime::Trace& trace) {
     }
     std::printf("  %-34s p50 %6.1f  p95 %6.1f  p99 %6.1f ms | misses %4zu/%zu "
                 "(worst streak %zu) | T_dev %5.1f C\n",
-                name, util::percentile(lat, 50), util::percentile(lat, 95),
+                name.c_str(), util::percentile(lat, 50), util::percentile(lat, 95),
                 util::percentile(lat, 99), misses, trace.size(), worst_streak,
                 s.mean_device_temp);
-    (void)deadline_ms;
 }
 
 } // namespace
 
 int main() {
-    const auto spec = platform::orin_nano_spec();
-    const double deadline = workload::latency_constraint_s(
-        spec.name, detector::DetectorKind::faster_rcnn, "KITTI");
+    const auto& scenario =
+        harness::ScenarioRegistry::instance().at("example_autonomous_driving");
+    const auto& cfg = scenario.config;
 
     std::printf("Autonomous driving perception: FasterRCNN on KITTI-style frames\n");
     std::printf("device: %s, frame deadline %.0f ms, %zu frames (heat-soaked drive)\n\n",
-                spec.name.c_str(), deadline * 1e3, kDriveFrames);
+                cfg.device_spec.name.c_str(),
+                cfg.schedule.at(0).latency_constraint_s * 1e3, cfg.iterations);
 
-    auto cfg = runtime::static_experiment(spec, detector::DetectorKind::faster_rcnn,
-                                          "KITTI", kDriveFrames, /*pretrain=*/2500,
-                                          /*seed=*/12);
-
-    {
-        auto run_cfg = cfg;
-        run_cfg.pretrain_iterations = 0;
-        runtime::ExperimentRunner runner(run_cfg);
-        auto gov = governors::DefaultGovernor::orin_nano();
-        report(gov.name().c_str(), runner.run(gov));
-    }
-    {
-        runtime::ExperimentRunner runner(cfg);
-        governors::ZttConfig zc;
-        zc.t_thres_celsius = platform::reward_threshold_celsius(spec);
-        governors::ZttGovernor ztt(spec.cpu.opp.num_levels(), spec.gpu.opp.num_levels(),
-                                   zc);
-        report(ztt.name().c_str(), runner.run(ztt));
-    }
-    {
-        runtime::ExperimentRunner runner(cfg);
-        core::LotusConfig lc;
-        lc.reward.t_thres_celsius = platform::reward_threshold_celsius(spec);
-        core::LotusAgent agent(spec.cpu.opp.num_levels(), spec.gpu.opp.num_levels(), lc);
-        report(agent.name().c_str(), runner.run(agent));
+    const harness::ExperimentHarness harness;
+    for (const auto& r : harness.run(scenario)) {
+        report(r.arm, r.trace);
     }
 
     std::printf("\nA stable tail (small p99-p50 gap, short miss streaks) is what keeps\n"

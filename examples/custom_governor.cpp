@@ -4,11 +4,11 @@
 // the public Governor interface: it tracks the recent latency slack and
 // steps the GPU ladder up or down to hold a target margin below the
 // deadline, with a hard back-off when the device approaches the throttling
-// bound. The example evaluates it against the stock governors and LOTUS on
-// the same scenario -- demonstrating the experiment harness as a governor
-// development sandbox.
+// bound. The example builds an *ad-hoc* Scenario around it -- custom arms
+// slot into the same ExperimentHarness the registry scenarios use -- and
+// evaluates it against the stock governors and LOTUS.
 //
-// Run: ./build/examples/custom_governor
+// Run: ./build/custom_governor
 
 #include <algorithm>
 #include <cstdio>
@@ -63,11 +63,11 @@ private:
     std::size_t gpu_ = 3;
 };
 
-void report(const char* name, const runtime::Trace& trace) {
+void report(const std::string& name, const runtime::Trace& trace) {
     const auto s = trace.summary();
     std::printf("  %-34s mean %7.1f ms  std %6.1f ms  R_L %5.1f %%  T_dev %5.1f C  "
                 "throttled %4.1f %%\n",
-                name, s.mean_latency_s * 1e3, s.std_latency_s * 1e3,
+                name.c_str(), s.mean_latency_s * 1e3, s.std_latency_s * 1e3,
                 s.satisfaction_rate * 100.0, s.mean_device_temp,
                 s.throttled_fraction * 100.0);
 }
@@ -76,35 +76,33 @@ void report(const char* name, const runtime::Trace& trace) {
 
 int main() {
     const auto spec = platform::orin_nano_spec();
-    constexpr std::size_t kFrames = 2000;
+    const std::size_t frames = harness::fast_mode() ? 600 : 2000;
 
     std::printf("Custom governor sandbox: FasterRCNN + VisDrone2019 on %s\n\n",
                 spec.name.c_str());
 
-    auto cfg = runtime::static_experiment(spec, detector::DetectorKind::faster_rcnn,
-                                          "VisDrone2019", kFrames, /*pretrain=*/2500,
-                                          /*seed=*/5);
+    // Ad-hoc scenario: the registry is convenient, not mandatory.
+    harness::Scenario scenario(runtime::static_experiment(
+        spec, detector::DetectorKind::faster_rcnn, "VisDrone2019", frames,
+        harness::pretrain_iterations()));
+    scenario.name = "custom_governor_sandbox";
+    scenario.title = "Custom governor sandbox";
+    scenario.arms.push_back(harness::default_arm(spec));
+    scenario.arms.push_back(harness::ArmSpec{
+        .name = "budget-heuristic",
+        .make =
+            [t_safe = platform::reward_threshold_celsius(spec)](std::uint64_t)
+            -> std::unique_ptr<governors::Governor> {
+            return std::make_unique<BudgetGovernor>(t_safe);
+        },
+        .paper = std::nullopt,
+        .tweak = nullptr,
+    });
+    scenario.arms.push_back(harness::lotus_arm(spec));
 
-    {
-        auto run_cfg = cfg;
-        run_cfg.pretrain_iterations = 0;
-        runtime::ExperimentRunner runner(run_cfg);
-        auto gov = governors::DefaultGovernor::orin_nano();
-        report(gov.name().c_str(), runner.run(gov));
-    }
-    {
-        auto run_cfg = cfg;
-        run_cfg.pretrain_iterations = 0; // heuristic needs no training
-        runtime::ExperimentRunner runner(run_cfg);
-        BudgetGovernor gov(platform::reward_threshold_celsius(spec));
-        report(gov.name().c_str(), runner.run(gov));
-    }
-    {
-        runtime::ExperimentRunner runner(cfg);
-        core::LotusConfig lc;
-        lc.reward.t_thres_celsius = platform::reward_threshold_celsius(spec);
-        core::LotusAgent agent(spec.cpu.opp.num_levels(), spec.gpu.opp.num_levels(), lc);
-        report(agent.name().c_str(), runner.run(agent));
+    const harness::ExperimentHarness harness;
+    for (const auto& r : harness.run(scenario)) {
+        report(r.arm, r.trace);
     }
 
     std::printf("\nThe heuristic holds the deadline but needs hand-tuned thresholds per\n"

@@ -6,9 +6,10 @@
 // very different outside temperatures"): the drone climbs from a warm
 // launch site into cold air, loiters, and descends again. LOTUS is trained
 // on the ground and then flown; the example reports per-phase latency
-// stability against the stock governors.
+// stability against the stock governors. The mission lives in the registry
+// as "example_drone_mission" (phases are fractions of the mission length).
 //
-// Run: ./build/examples/drone_surveillance
+// Run: ./build/drone_surveillance
 
 #include <cstdio>
 
@@ -18,23 +19,6 @@ using namespace lotus;
 
 namespace {
 
-constexpr std::size_t kMissionFrames = 1800;
-
-/// Mission profile: ground (25 C) -> climb (linear to -5 C) -> loiter
-/// (-5 C) -> descend (back to 25 C).
-workload::AmbientProfile mission_profile() {
-    return workload::AmbientProfile::custom(
-        [](std::size_t i) {
-            const double t = static_cast<double>(i);
-            if (i < 300) return 25.0;                            // pre-flight
-            if (i < 700) return 25.0 - 30.0 * (t - 300) / 400.0; // climb
-            if (i < 1300) return -5.0;                           // loiter
-            if (i < 1700) return -5.0 + 30.0 * (t - 1300) / 400.0; // descend
-            return 25.0;
-        },
-        "drone mission: ground/climb/loiter/descend");
-}
-
 void report_phase(const char* phase, const runtime::Trace& trace, std::size_t first,
                   std::size_t last) {
     const auto s = trace.summary(first, last);
@@ -43,12 +27,15 @@ void report_phase(const char* phase, const runtime::Trace& trace, std::size_t fi
                 s.satisfaction_rate * 100.0, s.mean_device_temp);
 }
 
-void report(const char* name, const runtime::Trace& trace) {
-    std::printf("  %s\n", name);
-    report_phase("pre-flight", trace, 0, 300);
-    report_phase("climb", trace, 300, 700);
-    report_phase("loiter", trace, 700, 1300);
-    report_phase("descend", trace, 1300, 1700);
+void report(const std::string& name, const runtime::Trace& trace) {
+    // Mission phases as fractions of the run: pre-flight / climb / loiter /
+    // descend (matches the registry's mission ambient profile).
+    const auto n = trace.size();
+    std::printf("  %s\n", name.c_str());
+    report_phase("pre-flight", trace, 0, n / 6);
+    report_phase("climb", trace, n / 6, n * 7 / 18);
+    report_phase("loiter", trace, n * 7 / 18, n * 13 / 18);
+    report_phase("descend", trace, n * 13 / 18, n * 17 / 18);
     const auto s = trace.summary();
     std::printf("    %-10s mean %7.1f ms  std %6.1f ms  R_L %5.1f %%  energy %.0f J\n\n",
                 "mission", s.mean_latency_s * 1e3, s.std_latency_s * 1e3,
@@ -59,43 +46,19 @@ void report(const char* name, const runtime::Trace& trace) {
 } // namespace
 
 int main() {
-    const auto spec = platform::orin_nano_spec();
-
-    runtime::ExperimentConfig cfg{
-        .device_spec = spec,
-        .detector = detector::DetectorKind::mask_rcnn,
-        .schedule = workload::DomainSchedule::constant(
-            "VisDrone2019", workload::latency_constraint_s(
-                                spec.name, detector::DetectorKind::mask_rcnn,
-                                "VisDrone2019")),
-        .ambient = mission_profile(),
-        .iterations = kMissionFrames,
-        .pretrain_iterations = 2000, // ground training before the mission
-        .seed = 7,
-        .engine = {},
-    };
+    const auto& scenario =
+        harness::ScenarioRegistry::instance().at("example_drone_mission");
+    const auto& cfg = scenario.config;
 
     std::printf("Drone surveillance mission: MaskRCNN on VisDrone2019-style imagery\n");
-    std::printf("device: %s, deadline %.0f ms, %zu mission frames\n\n", spec.name.c_str(),
-                cfg.schedule.at(0).latency_constraint_s * 1e3, kMissionFrames);
+    std::printf("device: %s, deadline %.0f ms, %zu mission frames\n",
+                cfg.device_spec.name.c_str(),
+                cfg.schedule.at(0).latency_constraint_s * 1e3, cfg.iterations);
+    std::printf("ambient: %s\n\n", cfg.ambient.description().c_str());
 
-    {
-        auto gov = governors::DefaultGovernor::orin_nano();
-        auto run_cfg = cfg;
-        run_cfg.pretrain_iterations = 0; // nothing to train
-        runtime::ExperimentRunner runner(run_cfg);
-        report(gov.name().c_str(), runner.run(gov));
-    }
-    {
-        core::LotusConfig lotus_cfg;
-        lotus_cfg.reward.t_thres_celsius = platform::reward_threshold_celsius(spec);
-        core::LotusAgent agent(spec.cpu.opp.num_levels(), spec.gpu.opp.num_levels(),
-                               lotus_cfg);
-        runtime::ExperimentRunner runner(cfg);
-        const auto trace = runner.run(agent);
-        report(agent.name().c_str(), trace);
-        std::printf("  (cool-down activations during training+mission: %zu)\n",
-                    agent.cooldown_activations());
+    const harness::ExperimentHarness harness;
+    for (const auto& r : harness.run(scenario)) {
+        report(r.arm, r.trace);
     }
     return 0;
 }

@@ -1,11 +1,15 @@
-// Quickstart: run LOTUS against the default governor on a simulated Jetson
-// Orin Nano executing Faster R-CNN over a KITTI-like stream, and print the
-// paper's three headline metrics (mean latency, latency std, satisfaction
-// rate) plus thermals for both.
+// Quickstart: run LOTUS against the stock governors and zTT on a simulated
+// Jetson Orin Nano executing Faster R-CNN over a KITTI-like stream, and
+// print the paper's three headline metrics (mean latency, latency std,
+// satisfaction rate) plus thermals for every arm.
+//
+// The experiment is the registry's "example_quickstart" scenario; the
+// ExperimentHarness runs all three governor arms concurrently and
+// deterministically (same numbers at any --jobs count).
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   ./build/quickstart
 
 #include <cstdio>
 
@@ -26,55 +30,24 @@ void report(const char* name, const lotus::runtime::Summary& s) {
 int main() {
     using namespace lotus;
 
-    const auto spec = platform::orin_nano_spec();
-    constexpr std::size_t kIterations = 2000;
-    constexpr std::size_t kPretrain = 1500;
+    const auto& scenario = harness::ScenarioRegistry::instance().at("example_quickstart");
+    const auto& cfg = scenario.config;
 
-    std::printf("LOTUS quickstart: %s + FasterRCNN + KITTI, %zu iterations\n",
-                spec.name.c_str(), kIterations);
+    std::printf("LOTUS quickstart: %s + %s + %s, %zu iterations\n",
+                cfg.device_spec.name.c_str(), detector::to_string(cfg.detector),
+                cfg.schedule.at(0).dataset.c_str(), cfg.iterations);
     std::printf("latency constraint L = %.0f ms, throttling bound = %.0f C\n\n",
-                workload::latency_constraint_s(spec.name, detector::DetectorKind::faster_rcnn,
-                                               "KITTI") *
-                    1e3,
-                platform::throttle_bound_celsius(spec));
+                cfg.schedule.at(0).latency_constraint_s * 1e3,
+                platform::throttle_bound_celsius(cfg.device_spec));
 
-    // --- baseline: the board's stock governors ------------------------------
-    {
-        auto cfg = runtime::static_experiment(spec, detector::DetectorKind::faster_rcnn,
-                                              "KITTI", kIterations, /*pretrain=*/0);
-        runtime::ExperimentRunner runner(cfg);
-        auto governor = governors::DefaultGovernor::orin_nano();
-        const auto trace = runner.run(governor);
-        report(governor.name().c_str(), trace.summary());
+    const harness::ExperimentHarness harness;
+    for (const auto& r : harness.run(scenario)) {
+        report(r.arm.c_str(), r.trace.summary());
     }
 
-    // --- zTT (learning baseline) --------------------------------------------
-    {
-        auto cfg = runtime::static_experiment(spec, detector::DetectorKind::faster_rcnn,
-                                              "KITTI", kIterations, kPretrain);
-        runtime::ExperimentRunner runner(cfg);
-        governors::ZttConfig ztt_cfg;
-        ztt_cfg.t_thres_celsius = platform::reward_threshold_celsius(spec);
-        governors::ZttGovernor ztt(spec.cpu.opp.num_levels(), spec.gpu.opp.num_levels(),
-                                   ztt_cfg);
-        const auto trace = runner.run(ztt);
-        report(ztt.name().c_str(), trace.summary());
-    }
-
-    // --- LOTUS ---------------------------------------------------------------
-    {
-        auto cfg = runtime::static_experiment(spec, detector::DetectorKind::faster_rcnn,
-                                              "KITTI", kIterations, kPretrain);
-        runtime::ExperimentRunner runner(cfg);
-        core::LotusConfig lotus_cfg;
-        lotus_cfg.reward.t_thres_celsius = platform::reward_threshold_celsius(spec);
-        core::LotusAgent agent(spec.cpu.opp.num_levels(), spec.gpu.opp.num_levels(),
-                               lotus_cfg);
-        const auto trace = runner.run(agent);
-        report(agent.name().c_str(), trace.summary());
-        std::printf("\n  (Lotus pre-trained for %zu frames; epsilon now %.3f, "
-                    "%zu cool-down activations)\n",
-                    kPretrain, agent.epsilon(), agent.cooldown_activations());
-    }
+    std::printf("\n(the learning governors pre-trained for %zu unrecorded frames; every\n"
+                "episode's seed derives from (seed 42, scenario, arm), so re-runs and\n"
+                "parallel runs reproduce these numbers exactly)\n",
+                cfg.pretrain_iterations);
     return 0;
 }

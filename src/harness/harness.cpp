@@ -1,0 +1,98 @@
+#include "harness/harness.hpp"
+
+#include <atomic>
+#include <exception>
+#include <optional>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace lotus::harness {
+
+ExperimentHarness::ExperimentHarness(HarnessConfig config) : config_(config) {
+    if (config_.jobs == 0) {
+        const auto hw = std::thread::hardware_concurrency();
+        config_.jobs = hw > 0 ? hw : 1;
+    }
+}
+
+EpisodeResult ExperimentHarness::run_episode(const Scenario& scenario,
+                                             std::size_t arm_index) const {
+    const auto& arm = scenario.arms.at(arm_index);
+    auto cfg = scenario.config;
+    if (arm.tweak) arm.tweak(cfg);
+
+    // Episode seed: a pure function of (harness seed, scenario, arm index).
+    // One splitmix draw seeds the workload streams, a second seeds the
+    // governor, so the two never share a stream.
+    const auto episode_seed = util::derive_seed(config_.seed, scenario.name, arm_index);
+    util::SplitMix64 sm(episode_seed);
+    cfg.seed = sm.next();
+    auto governor = arm.make(sm.next());
+
+    // Non-learning governors need no warm-up; skipping it keeps sweeps fast.
+    if (governor->decision_overhead_s() == 0.0) cfg.pretrain_iterations = 0;
+
+    const runtime::ExperimentRunner runner(cfg);
+    auto trace = runner.run(*governor);
+    return EpisodeResult{scenario.name, arm.name,       episode_seed,
+                         std::move(cfg), std::move(trace), arm.paper};
+}
+
+std::vector<EpisodeResult> ExperimentHarness::run(const Scenario& scenario) const {
+    return run(std::vector<const Scenario*>{&scenario});
+}
+
+std::vector<EpisodeResult> ExperimentHarness::run(
+    const std::vector<const Scenario*>& batch) const {
+    struct Episode {
+        const Scenario* scenario;
+        std::size_t arm_index;
+    };
+    std::vector<Episode> episodes;
+    for (const Scenario* s : batch) {
+        for (std::size_t a = 0; a < s->arms.size(); ++a) episodes.push_back({s, a});
+    }
+
+    // Slot per episode: declaration order in, declaration order out,
+    // independent of which worker finishes first.
+    std::vector<std::optional<EpisodeResult>> slots(episodes.size());
+    std::vector<std::exception_ptr> errors(episodes.size());
+
+    const auto execute = [&](std::size_t i) {
+        try {
+            slots[i] = run_episode(*episodes[i].scenario, episodes[i].arm_index);
+        } catch (...) {
+            errors[i] = std::current_exception();
+        }
+    };
+
+    const std::size_t jobs = std::min(config_.jobs, episodes.size());
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < episodes.size(); ++i) execute(i);
+    } else {
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (std::size_t w = 0; w < jobs; ++w) {
+            pool.emplace_back([&] {
+                for (;;) {
+                    const auto i = next.fetch_add(1);
+                    if (i >= episodes.size()) return;
+                    execute(i);
+                }
+            });
+        }
+        for (auto& t : pool) t.join();
+    }
+
+    for (auto& err : errors) {
+        if (err) std::rethrow_exception(err);
+    }
+    std::vector<EpisodeResult> results;
+    results.reserve(slots.size());
+    for (auto& slot : slots) results.push_back(std::move(*slot));
+    return results;
+}
+
+} // namespace lotus::harness

@@ -1,0 +1,504 @@
+#include "harness/registry.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "platform/presets.hpp"
+#include "util/csv.hpp"
+#include "workload/presets.hpp"
+
+namespace lotus::harness {
+
+namespace {
+
+using detector::DetectorKind;
+
+bool env_flag(const char* name) {
+    const char* v = std::getenv(name);
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+std::vector<ArmSpec> standard_arms(const platform::DeviceSpec& spec) {
+    std::vector<ArmSpec> arms;
+    arms.push_back(default_arm(spec));
+    arms.push_back(ztt_arm(spec));
+    arms.push_back(lotus_arm(spec));
+    return arms;
+}
+
+std::vector<ArmSpec> standard_arms_with_paper(const platform::DeviceSpec& spec,
+                                              PaperRow paper_default, PaperRow paper_ztt,
+                                              PaperRow paper_lotus) {
+    auto arms = standard_arms(spec);
+    arms[0].paper = paper_default;
+    arms[1].paper = paper_ztt;
+    arms[2].paper = paper_lotus;
+    return arms;
+}
+
+/// Fig. 1 arm: stock governors, but the *detector* varies per arm.
+ArmSpec detector_arm(const platform::DeviceSpec& spec, DetectorKind kind,
+                     const std::string& dataset) {
+    auto arm = default_arm(spec);
+    arm.name = detector::to_string(kind);
+    arm.tweak = [device = spec.name, kind, dataset](runtime::ExperimentConfig& cfg) {
+        cfg.detector = kind;
+        cfg.schedule = workload::DomainSchedule::constant(
+            dataset, workload::latency_constraint_s(device, kind, dataset));
+    };
+    return arm;
+}
+
+/// Fig. 2 arm: one frame with a pinned proposal count at a pinned frequency,
+/// executed from a cold device (each arm is its own episode).
+ArmSpec proposal_probe_arm(int proposals) {
+    auto arm = fixed_arm(5, 3);
+    arm.name = "p=" + std::to_string(proposals);
+    arm.tweak = [proposals](runtime::ExperimentConfig& cfg) {
+        cfg.iterations = 1;
+        cfg.pretrain_iterations = 0;
+        cfg.frame_hook = [proposals](workload::FrameSample& frame, std::size_t) {
+            frame.proposals = proposals;
+            frame.resolution_scale = 1.0;
+            frame.complexity = 1.0;
+            frame.jitter = 1.0;
+        };
+    };
+    return arm;
+}
+
+/// Constraint-sweep arm: LOTUS run against a scaled latency constraint.
+ArmSpec constraint_arm(const platform::DeviceSpec& spec, const std::string& dataset,
+                       DetectorKind kind, double scale) {
+    auto arm = lotus_arm(spec);
+    arm.name = "Lotus@" + util::format_double(scale, 2) + "L";
+    arm.tweak = [device = spec.name, dataset, kind, scale](runtime::ExperimentConfig& cfg) {
+        const double base = workload::latency_constraint_s(device, kind, dataset);
+        cfg.schedule = workload::DomainSchedule::constant(dataset, base * scale);
+    };
+    return arm;
+}
+
+/// Drone mission ambient: ground (25 C) -> climb (linear to -5 C) -> loiter
+/// (-5 C) -> descend (back to 25 C), phased as fractions of the mission so
+/// fast mode shrinks cleanly.
+workload::AmbientProfile mission_profile(std::size_t frames) {
+    const double n = static_cast<double>(frames);
+    return workload::AmbientProfile::custom(
+        [n](std::size_t i) {
+            const double t = static_cast<double>(i) / n;
+            if (t < 1.0 / 6.0) return 25.0;                                  // pre-flight
+            if (t < 7.0 / 18.0) return 25.0 - 30.0 * (t - 1.0 / 6.0) / (2.0 / 9.0);
+            if (t < 13.0 / 18.0) return -5.0;                                // loiter
+            if (t < 17.0 / 18.0) return -5.0 + 30.0 * (t - 13.0 / 18.0) / (2.0 / 9.0);
+            return 25.0;
+        },
+        "drone mission: ground/climb/loiter/descend");
+}
+
+/// Heatwave ambient: 25 C baseline, ramp to a mid-run peak, ramp back --
+/// a summer-afternoon profile no paper figure covers.
+workload::AmbientProfile heatwave_profile(std::size_t frames, double peak_c) {
+    const double n = static_cast<double>(frames);
+    return workload::AmbientProfile::custom(
+        [n, peak_c](std::size_t i) {
+            const double t = static_cast<double>(i) / n;
+            if (t < 0.25) return 25.0;
+            if (t < 0.5) return 25.0 + (peak_c - 25.0) * (t - 0.25) / 0.25;
+            if (t < 0.75) return peak_c;
+            return peak_c - (peak_c - 25.0) * (t - 0.75) / 0.25;
+        },
+        "heatwave: 25C -> " + util::format_double(peak_c, 0) + "C -> 25C");
+}
+
+} // namespace
+
+bool fast_mode() { return env_flag("LOTUS_BENCH_FAST"); }
+
+std::size_t orin_iterations() { return fast_mode() ? 600 : 3000; }
+std::size_t mi11_iterations() { return fast_mode() ? 300 : 1000; }
+std::size_t pretrain_iterations() { return fast_mode() ? 500 : 2500; }
+std::size_t mi11_pretrain_iterations() { return fast_mode() ? 500 : 6000; }
+
+ScenarioRegistry::ScenarioRegistry() {
+    const auto orin = platform::orin_nano_spec();
+    const auto mi11 = platform::mi11_lite_spec();
+    const auto orin_iters = orin_iterations();
+    const auto mi11_iters = mi11_iterations();
+    const auto orin_pre = pretrain_iterations();
+    const auto mi11_pre = mi11_pretrain_iterations();
+
+    // --- Fig. 1: latency mean/variation per detector and dataset ------------
+    for (const char* dataset : {"KITTI", "VisDrone2019"}) {
+        const std::string suffix = (dataset == std::string("KITTI")) ? "kitti" : "visdrone";
+        Scenario s(runtime::static_experiment(orin, DetectorKind::faster_rcnn, dataset,
+                                              orin_iters, 0));
+        s.name = "fig1_" + suffix;
+        s.title = "Fig. 1 (" + std::string(dataset) + ")";
+        s.description = "Latency mean/variation of FasterRCNN, MaskRCNN and YOLOv5 on " +
+                        std::string(dataset) + " under the Orin Nano's stock governors.";
+        s.tags = {"paper", "figure"};
+        for (const auto kind : {DetectorKind::faster_rcnn, DetectorKind::mask_rcnn,
+                                DetectorKind::yolo_v5}) {
+            s.arms.push_back(detector_arm(orin, kind, dataset));
+        }
+        scenarios_.push_back(std::move(s));
+    }
+
+    // --- Fig. 2: stage-2 latency vs proposal count ---------------------------
+    {
+        const struct {
+            const char* name;
+            DetectorKind kind;
+            int max;
+            int step;
+        } sweeps[] = {
+            {"fig2_frcnn_sweep", DetectorKind::faster_rcnn, 600, 60},
+            {"fig2_mrcnn_sweep", DetectorKind::mask_rcnn, 300, 30},
+        };
+        for (const auto& sweep : sweeps) {
+            Scenario s(runtime::static_experiment(orin, sweep.kind, "KITTI", 1, 0));
+            s.name = sweep.name;
+            s.title = std::string("Fig. 2 (") + detector::to_string(sweep.kind) + ")";
+            s.description = "Second-stage latency as a function of the RPN proposal "
+                            "count at a pinned CPU/GPU frequency (one cold-start frame "
+                            "per probe point).";
+            s.tags = {"paper", "figure", "probe"};
+            s.config.schedule = workload::DomainSchedule::constant("KITTI", 10.0);
+            for (int p = 0; p <= sweep.max; p += sweep.step) {
+                s.arms.push_back(proposal_probe_arm(p));
+            }
+            scenarios_.push_back(std::move(s));
+        }
+    }
+
+    // --- Figs. 4-6: governor-comparison traces -------------------------------
+    const struct {
+        const char* name;
+        const char* fig;
+        const platform::DeviceSpec* spec;
+        DetectorKind kind;
+        const char* dataset;
+        std::size_t iters;
+        std::size_t pre;
+    } traces[] = {
+        {"fig4_visdrone", "Fig. 4", &orin, DetectorKind::faster_rcnn, "VisDrone2019",
+         orin_iters, orin_pre},
+        {"fig4_kitti", "Fig. 4", &orin, DetectorKind::faster_rcnn, "KITTI", orin_iters,
+         orin_pre},
+        {"fig5_visdrone", "Fig. 5", &orin, DetectorKind::mask_rcnn, "VisDrone2019",
+         orin_iters, orin_pre},
+        {"fig5_kitti", "Fig. 5", &orin, DetectorKind::mask_rcnn, "KITTI", orin_iters,
+         orin_pre},
+        {"fig6_visdrone", "Fig. 6", &mi11, DetectorKind::faster_rcnn, "VisDrone2019",
+         mi11_iters, mi11_pre},
+        {"fig6_kitti", "Fig. 6", &mi11, DetectorKind::faster_rcnn, "KITTI", mi11_iters,
+         mi11_pre},
+    };
+    for (const auto& t : traces) {
+        Scenario s(runtime::static_experiment(*t.spec, t.kind, t.dataset, t.iters, t.pre));
+        s.name = t.name;
+        s.title = std::string(t.fig) + " (" + t.dataset + ")";
+        s.description = std::string(t.spec->name) + " + " + detector::to_string(t.kind) +
+                        " on " + t.dataset + ": default vs zTT vs Lotus traces.";
+        s.tags = {"paper", "figure"};
+        s.arms = standard_arms(*t.spec);
+        scenarios_.push_back(std::move(s));
+    }
+
+    // --- Fig. 7a: ambient warm/cold/warm zones -------------------------------
+    {
+        Scenario s(runtime::static_experiment(orin, DetectorKind::mask_rcnn,
+                                              "VisDrone2019", orin_iters, orin_pre));
+        s.name = "fig7a_temp_changes";
+        s.title = "Fig. 7a (temperature changes)";
+        s.description = "MaskRCNN + VisDrone2019 on the Orin Nano while the ambient "
+                        "moves warm (25C) -> cold (0C) -> warm (25C).";
+        s.tags = {"paper", "figure", "dynamic"};
+        const auto third = orin_iters / 3;
+        s.config.ambient =
+            workload::AmbientProfile::zones({{0, 25.0}, {third, 0.0}, {2 * third, 25.0}});
+        s.arms = standard_arms(orin);
+        scenarios_.push_back(std::move(s));
+    }
+
+    // --- Fig. 7b: mid-run domain switch --------------------------------------
+    {
+        const auto half = orin_iters / 2;
+        const double l_kitti = workload::latency_constraint_s(
+            orin.name, DetectorKind::faster_rcnn, "KITTI");
+        const double l_visdrone = workload::latency_constraint_s(
+            orin.name, DetectorKind::faster_rcnn, "VisDrone2019");
+        Scenario s(runtime::ExperimentConfig{
+            .device_spec = orin,
+            .detector = DetectorKind::faster_rcnn,
+            .schedule = workload::DomainSchedule::segments(
+                {{0, "KITTI", l_kitti}, {half, "VisDrone2019", l_visdrone}}),
+            .ambient = workload::AmbientProfile::constant(25.0),
+            .iterations = orin_iters,
+            .pretrain_iterations = orin_pre,
+            .seed = 42,
+            .engine = {},
+            .frame_hook = nullptr,
+        });
+        s.name = "fig7b_domain_changes";
+        s.title = "Fig. 7b (domain changes)";
+        s.description = "FasterRCNN on the Orin Nano; the dataset (and latency "
+                        "constraint) switches KITTI -> VisDrone2019 mid-run.";
+        s.tags = {"paper", "figure", "dynamic"};
+        s.arms = standard_arms(orin);
+        scenarios_.push_back(std::move(s));
+    }
+
+    // --- Tables 1-2: quantitative cells with the paper's reference values ----
+    const struct {
+        const char* name;
+        const char* table;
+        const platform::DeviceSpec* spec;
+        DetectorKind kind;
+        const char* dataset;
+        std::size_t iters;
+        std::size_t pre;
+        PaperRow paper_default;
+        PaperRow paper_ztt;
+        PaperRow paper_lotus;
+    } cells[] = {
+        {"table1_frcnn_kitti", "Table 1", &orin, DetectorKind::faster_rcnn, "KITTI",
+         orin_iters, orin_pre, {434.6, 139.8, 0.514}, {363.7, 85.6, 0.555},
+         {343.2, 68.6, 0.665}},
+        {"table1_frcnn_visdrone", "Table 1", &orin, DetectorKind::faster_rcnn,
+         "VisDrone2019", orin_iters, orin_pre, {686.0, 241.1, 0.294},
+         {577.6, 167.5, 0.463}, {523.5, 102.9, 0.711}},
+        {"table1_mrcnn_kitti", "Table 1", &orin, DetectorKind::mask_rcnn, "KITTI",
+         orin_iters, orin_pre, {443.9, 148.0, 0.598}, {408.3, 111.7, 0.871},
+         {388.5, 88.9, 0.952}},
+        {"table1_mrcnn_visdrone", "Table 1", &orin, DetectorKind::mask_rcnn,
+         "VisDrone2019", orin_iters, orin_pre, {768.4, 260.4, 0.390},
+         {584.3, 114.2, 0.501}, {531.4, 70.7, 0.749}},
+        {"table2_frcnn_kitti", "Table 2", &mi11, DetectorKind::faster_rcnn, "KITTI",
+         mi11_iters, mi11_pre, {1377.5, 525.1, 0.709}, {1260.9, 448.2, 0.833},
+         {1185.8, 429.9, 0.897}},
+        {"table2_frcnn_visdrone", "Table 2", &mi11, DetectorKind::faster_rcnn,
+         "VisDrone2019", mi11_iters, mi11_pre, {2728.0, 761.5, 0.633},
+         {2509.7, 649.3, 0.797}, {2421.0, 558.7, 0.925}},
+        {"table2_mrcnn_kitti", "Table 2", &mi11, DetectorKind::mask_rcnn, "KITTI",
+         mi11_iters, mi11_pre, {1652.1, 781.8, 0.613}, {1582.7, 610.5, 0.798},
+         {1429.5, 552.3, 0.915}},
+        {"table2_mrcnn_visdrone", "Table 2", &mi11, DetectorKind::mask_rcnn,
+         "VisDrone2019", mi11_iters, mi11_pre, {3241.9, 725.5, 0.401},
+         {2972.5, 621.7, 0.594}, {2649.5, 591.2, 0.838}},
+    };
+    for (const auto& c : cells) {
+        Scenario s(runtime::static_experiment(*c.spec, c.kind, c.dataset, c.iters, c.pre));
+        s.name = c.name;
+        s.title = std::string(c.table) + ": " + detector::to_string(c.kind) + " / " +
+                  c.dataset;
+        s.description = std::string("Quantitative cell on the ") + c.spec->name +
+                        " printed next to the paper's reported values.";
+        s.tags = {"paper", "table"};
+        s.arms = standard_arms_with_paper(*c.spec, c.paper_default, c.paper_ztt,
+                                          c.paper_lotus);
+        scenarios_.push_back(std::move(s));
+    }
+
+    // --- Design ablation ------------------------------------------------------
+    {
+        Scenario s(runtime::static_experiment(orin, DetectorKind::faster_rcnn,
+                                              "VisDrone2019", orin_iters, orin_pre));
+        s.name = "ablation_design";
+        s.title = "Ablation: LOTUS design choices";
+        s.description = "Each design choice of Secs. 4.2-4.3.5 removed in isolation on "
+                        "the hardest static cell (Orin + FasterRCNN + VisDrone2019).";
+        s.tags = {"paper", "ablation"};
+        const auto base = [&] {
+            core::LotusConfig c;
+            c.reward.t_thres_celsius = platform::reward_threshold_celsius(orin);
+            return c;
+        };
+        s.arms.push_back(lotus_arm_with(orin, "Lotus(full)", base()));
+        {
+            auto c = base();
+            c.decision_mode = core::DecisionMode::frame_start_only;
+            s.arms.push_back(lotus_arm_with(orin, "frame-start-only", c));
+        }
+        {
+            auto c = base();
+            c.decision_mode = core::DecisionMode::post_rpn_only;
+            s.arms.push_back(lotus_arm_with(orin, "post-rpn-only", c));
+        }
+        {
+            auto c = base();
+            c.use_two_networks = true;
+            s.arms.push_back(lotus_arm_with(orin, "two-networks", c));
+        }
+        {
+            auto c = base();
+            c.ztt_style_cooldown = true;
+            s.arms.push_back(lotus_arm_with(orin, "ztt-cooldown", c));
+        }
+        {
+            auto c = base();
+            c.double_dqn = true;
+            s.arms.push_back(lotus_arm_with(orin, "double-dqn", c));
+        }
+        scenarios_.push_back(std::move(s));
+    }
+
+    // --- Example missions -----------------------------------------------------
+    {
+        Scenario s(runtime::static_experiment(orin, DetectorKind::faster_rcnn, "KITTI",
+                                              fast_mode() ? 600 : 2000,
+                                              fast_mode() ? 500 : 1500));
+        s.name = "example_quickstart";
+        s.title = "Quickstart: Orin Nano + FasterRCNN + KITTI";
+        s.description = "The three headline metrics (mean latency, std, satisfaction "
+                        "rate) for default vs zTT vs Lotus on the canonical cell.";
+        s.tags = {"example"};
+        s.arms = standard_arms(orin);
+        scenarios_.push_back(std::move(s));
+    }
+    {
+        Scenario s(runtime::static_experiment(orin, DetectorKind::faster_rcnn, "KITTI",
+                                              fast_mode() ? 600 : 2500, orin_pre));
+        s.name = "example_autonomous_driving";
+        s.title = "Autonomous driving: KITTI perception with a hard deadline";
+        s.description = "A long heat-soaked drive; the application cares about tail "
+                        "latency (p95/p99, miss streaks), not just the mean.";
+        s.tags = {"example"};
+        s.arms = standard_arms(orin);
+        scenarios_.push_back(std::move(s));
+    }
+    {
+        const std::size_t frames = fast_mode() ? 600 : 1800;
+        Scenario s(runtime::static_experiment(orin, DetectorKind::mask_rcnn,
+                                              "VisDrone2019", frames,
+                                              fast_mode() ? 500 : 2000));
+        s.name = "example_drone_mission";
+        s.title = "Drone surveillance: MaskRCNN patrol mission";
+        s.description = "Ground training, then a climb/loiter/descend mission whose "
+                        "altitude drives the ambient temperature.";
+        s.tags = {"example", "dynamic"};
+        s.config.ambient = mission_profile(frames);
+        s.arms.push_back(default_arm(orin));
+        s.arms.push_back(lotus_arm(orin));
+        scenarios_.push_back(std::move(s));
+    }
+
+    // --- Stress scenarios (beyond the paper) ----------------------------------
+    {
+        Scenario s(runtime::static_experiment(orin, DetectorKind::faster_rcnn,
+                                              "VisDrone2019", orin_iters, 0));
+        s.name = "stress_cold_start";
+        s.title = "Stress: cold-start learning";
+        s.description = "No pre-training budget at all: the learning governors must "
+                        "converge online while frames are being scored.";
+        s.tags = {"stress"};
+        s.arms = standard_arms(orin);
+        scenarios_.push_back(std::move(s));
+    }
+    {
+        Scenario s(runtime::static_experiment(orin, DetectorKind::mask_rcnn,
+                                              "VisDrone2019", orin_iters, orin_pre));
+        s.name = "stress_heatwave";
+        s.title = "Stress: heatwave ambient ramp";
+        s.description = "MaskRCNN + VisDrone2019 on the Orin Nano while the ambient "
+                        "ramps 25C -> 45C -> 25C; the thermal headroom collapses to "
+                        "almost nothing at the peak.";
+        s.tags = {"stress", "dynamic"};
+        s.config.ambient = heatwave_profile(orin_iters, 45.0);
+        s.arms = standard_arms(orin);
+        scenarios_.push_back(std::move(s));
+    }
+    {
+        Scenario s(runtime::static_experiment(mi11, DetectorKind::faster_rcnn, "KITTI",
+                                              mi11_iters, mi11_pre));
+        s.name = "stress_mi11_heatwave";
+        s.title = "Stress: phone in the sun";
+        s.description = "The skin-limited Mi 11 Lite under a 25C/40C/25C ambient zone "
+                        "profile -- the phone analogue of Fig. 7a.";
+        s.tags = {"stress", "dynamic"};
+        const auto third = mi11_iters / 3;
+        s.config.ambient =
+            workload::AmbientProfile::zones({{0, 25.0}, {third, 40.0}, {2 * third, 25.0}});
+        s.arms = standard_arms(mi11);
+        scenarios_.push_back(std::move(s));
+    }
+    {
+        Scenario s(runtime::static_experiment(orin, DetectorKind::faster_rcnn, "KITTI",
+                                              orin_iters, orin_pre));
+        s.name = "stress_domain_storm";
+        s.title = "Stress: domain-shift storm";
+        s.description = "The dataset (and constraint) flips between KITTI and "
+                        "VisDrone2019 every eighth of the run -- far more often than "
+                        "Fig. 7b's single switch.";
+        s.tags = {"stress", "dynamic"};
+        const double l_kitti = workload::latency_constraint_s(
+            orin.name, DetectorKind::faster_rcnn, "KITTI");
+        const double l_visdrone = workload::latency_constraint_s(
+            orin.name, DetectorKind::faster_rcnn, "VisDrone2019");
+        std::vector<workload::DomainSegment> segs;
+        const auto eighth = orin_iters / 8;
+        for (std::size_t k = 0; k < 8; ++k) {
+            const bool kitti = k % 2 == 0;
+            segs.push_back({k * eighth, kitti ? "KITTI" : "VisDrone2019",
+                            kitti ? l_kitti : l_visdrone});
+        }
+        s.config.schedule = workload::DomainSchedule::segments(std::move(segs));
+        s.arms = standard_arms(orin);
+        scenarios_.push_back(std::move(s));
+    }
+    {
+        Scenario s(runtime::static_experiment(orin, DetectorKind::faster_rcnn,
+                                              "VisDrone2019", orin_iters, orin_pre));
+        s.name = "stress_constraint_sweep";
+        s.title = "Stress: latency-constraint sweep";
+        s.description = "LOTUS on the hardest static cell under constraints from 0.8x "
+                        "to 1.2x the calibrated L -- how gracefully does satisfaction "
+                        "degrade as the deadline tightens?";
+        s.tags = {"stress", "sweep"};
+        for (const double scale : {0.8, 0.9, 1.0, 1.1, 1.2}) {
+            s.arms.push_back(
+                constraint_arm(orin, "VisDrone2019", DetectorKind::faster_rcnn, scale));
+        }
+        scenarios_.push_back(std::move(s));
+    }
+}
+
+const ScenarioRegistry& ScenarioRegistry::instance() {
+    static const ScenarioRegistry registry;
+    return registry;
+}
+
+const Scenario* ScenarioRegistry::find(const std::string& name) const {
+    for (const auto& s : scenarios_) {
+        if (s.name == name) return &s;
+    }
+    return nullptr;
+}
+
+const Scenario& ScenarioRegistry::at(const std::string& name) const {
+    if (const Scenario* s = find(name)) return *s;
+    std::string known;
+    for (const auto& s : scenarios_) {
+        known += known.empty() ? s.name : ", " + s.name;
+    }
+    throw std::out_of_range("unknown scenario '" + name + "' (known: " + known + ")");
+}
+
+std::vector<const Scenario*> ScenarioRegistry::with_tag(const std::string& tag) const {
+    std::vector<const Scenario*> out;
+    for (const auto& s : scenarios_) {
+        if (s.has_tag(tag)) out.push_back(&s);
+    }
+    return out;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::with_prefix(const std::string& prefix) const {
+    std::vector<const Scenario*> out;
+    for (const auto& s : scenarios_) {
+        if (s.name.rfind(prefix, 0) == 0) out.push_back(&s);
+    }
+    return out;
+}
+
+} // namespace lotus::harness

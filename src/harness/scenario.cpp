@@ -1,0 +1,86 @@
+#include "harness/scenario.hpp"
+
+#include <algorithm>
+
+#include "governors/linux_governors.hpp"
+#include "governors/ztt.hpp"
+#include "platform/presets.hpp"
+
+namespace lotus::harness {
+
+bool Scenario::has_tag(const std::string& tag) const {
+    return std::find(tags.begin(), tags.end(), tag) != tags.end();
+}
+
+ArmSpec default_arm(const platform::DeviceSpec& spec) {
+    const bool orin = spec.name.find("orin") != std::string::npos;
+    return ArmSpec{
+        .name = "default",
+        .make =
+            [orin](std::uint64_t) -> std::unique_ptr<governors::Governor> {
+            return std::make_unique<governors::DefaultGovernor>(
+                orin ? governors::DefaultGovernor::orin_nano()
+                     : governors::DefaultGovernor::mi11_lite());
+        },
+        .paper = std::nullopt,
+        .tweak = nullptr,
+    };
+}
+
+ArmSpec ztt_arm(const platform::DeviceSpec& spec) {
+    const auto cpu_levels = spec.cpu.opp.num_levels();
+    const auto gpu_levels = spec.gpu.opp.num_levels();
+    const double t_thres = platform::reward_threshold_celsius(spec);
+    return ArmSpec{
+        .name = "zTT",
+        .make =
+            [=](std::uint64_t seed) -> std::unique_ptr<governors::Governor> {
+            governors::ZttConfig cfg;
+            cfg.t_thres_celsius = t_thres;
+            cfg.seed = seed;
+            return std::make_unique<governors::ZttGovernor>(cpu_levels, gpu_levels, cfg);
+        },
+        .paper = std::nullopt,
+        .tweak = nullptr,
+    };
+}
+
+ArmSpec lotus_arm(const platform::DeviceSpec& spec) {
+    core::LotusConfig cfg;
+    cfg.reward.t_thres_celsius = platform::reward_threshold_celsius(spec);
+    return lotus_arm_with(spec, "Lotus", cfg);
+}
+
+ArmSpec lotus_arm_with(const platform::DeviceSpec& spec, const std::string& label,
+                       core::LotusConfig cfg) {
+    const auto cpu_levels = spec.cpu.opp.num_levels();
+    const auto gpu_levels = spec.gpu.opp.num_levels();
+    if (cfg.reward.t_thres_celsius >= platform::throttle_bound_celsius(spec)) {
+        cfg.reward.t_thres_celsius = platform::reward_threshold_celsius(spec);
+    }
+    return ArmSpec{
+        .name = label,
+        .make =
+            [=](std::uint64_t seed) -> std::unique_ptr<governors::Governor> {
+            auto run_cfg = cfg;
+            run_cfg.seed = seed;
+            return std::make_unique<core::LotusAgent>(cpu_levels, gpu_levels, run_cfg);
+        },
+        .paper = std::nullopt,
+        .tweak = nullptr,
+    };
+}
+
+ArmSpec fixed_arm(std::size_t cpu_level, std::size_t gpu_level) {
+    return ArmSpec{
+        .name = "fixed(" + std::to_string(cpu_level) + "," + std::to_string(gpu_level) + ")",
+        .make =
+            [=](std::uint64_t) -> std::unique_ptr<governors::Governor> {
+            return std::make_unique<governors::FixedGovernor>(cpu_level, gpu_level);
+        },
+        .paper = std::nullopt,
+        .tweak = nullptr,
+    };
+}
+
+} // namespace lotus::harness

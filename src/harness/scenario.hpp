@@ -1,0 +1,83 @@
+#pragma once
+// Scenario model for the experiment harness.
+//
+// A Scenario is one named, self-describing experiment: an ExperimentConfig
+// plus a set of governor "arms" to run against it. Every paper figure/table
+// cell, every example mission and every stress workload is expressed as a
+// Scenario, so the whole evaluation surface is enumerable (see
+// ScenarioRegistry) and every front end -- bench binaries, examples,
+// lotus_run -- drives experiments through the same ExperimentHarness.
+//
+// Arms may carry a config tweak: a per-arm adjustment applied to a copy of
+// the scenario config before the episode runs. This is how a single
+// scenario expresses detector sweeps (Fig. 1), proposal probes (Fig. 2) and
+// latency-constraint sweeps (stress scenarios) without bespoke drivers.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "governors/governor.hpp"
+#include "lotus/agent.hpp"
+#include "platform/device.hpp"
+#include "runtime/runner.hpp"
+
+namespace lotus::harness {
+
+/// Paper reference values for a table cell (printed next to measurements).
+struct PaperRow {
+    double mean_ms = 0.0;
+    double std_ms = 0.0;
+    double satisfaction = 0.0; // fraction
+};
+
+/// One experiment arm: a named, seed-parameterised governor factory plus an
+/// optional config tweak. The factory receives a seed derived from
+/// (harness seed, scenario name, arm index) -- arms must not bake in their
+/// own entropy, or parallel runs would stop being reproducible.
+struct ArmSpec {
+    std::string name;
+    std::function<std::unique_ptr<governors::Governor>(std::uint64_t seed)> make;
+    std::optional<PaperRow> paper;
+    std::function<void(runtime::ExperimentConfig&)> tweak;
+};
+
+/// A named, tagged experiment: config + arms. (Constructed from its config
+/// because ExperimentConfig carries a DeviceSpec and has no empty state.)
+struct Scenario {
+    explicit Scenario(runtime::ExperimentConfig cfg) : config(std::move(cfg)) {}
+
+    std::string name;        // registry key, e.g. "fig4_kitti"
+    std::string title;       // human-readable heading
+    std::string description; // one paragraph for --list-scenarios / docs
+    std::vector<std::string> tags; // e.g. {"paper", "figure"} or {"stress"}
+    runtime::ExperimentConfig config;
+    std::vector<ArmSpec> arms;
+
+    [[nodiscard]] bool has_tag(const std::string& tag) const;
+};
+
+// --- standard arm factories --------------------------------------------------
+// Shared by the registry, the bench binaries, the examples and lotus_run.
+
+/// The board's stock kernel governors (schedutil + simple_ondemand presets).
+[[nodiscard]] ArmSpec default_arm(const platform::DeviceSpec& spec);
+
+/// zTT baseline (frame-start-only DRL governor).
+[[nodiscard]] ArmSpec ztt_arm(const platform::DeviceSpec& spec);
+
+/// Full LOTUS agent.
+[[nodiscard]] ArmSpec lotus_arm(const platform::DeviceSpec& spec);
+
+/// LOTUS agent with a customised configuration (ablations). The config's
+/// seed field is overwritten with the derived episode seed at run time.
+[[nodiscard]] ArmSpec lotus_arm_with(const platform::DeviceSpec& spec,
+                                     const std::string& label, core::LotusConfig cfg);
+
+/// Frequency ladder pinned at (cpu_level, gpu_level).
+[[nodiscard]] ArmSpec fixed_arm(std::size_t cpu_level, std::size_t gpu_level);
+
+} // namespace lotus::harness

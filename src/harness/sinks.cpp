@@ -1,0 +1,102 @@
+#include "harness/sinks.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+
+#include "platform/presets.hpp"
+#include "util/ascii.hpp"
+#include "util/csv.hpp"
+
+namespace lotus::harness {
+
+namespace {
+
+std::string sanitize(std::string s) {
+    for (auto& c : s) {
+        if (!(std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' || c == '_')) {
+            c = '_';
+        }
+    }
+    return s;
+}
+
+/// Largest latency constraint across an episode's schedule segments (the
+/// reference line drawn in multi-domain figures).
+double max_constraint_ms(const EpisodeResult& r) {
+    double best = 0.0;
+    for (const auto& seg : r.config.schedule.all()) {
+        best = std::max(best, seg.latency_constraint_s * 1e3);
+    }
+    return best;
+}
+
+} // namespace
+
+void print_summary_table(const std::string& heading,
+                         const std::vector<EpisodeResult>& results) {
+    util::TextTable table({"method", "l-bar (ms)", "sigma_l (ms)", "R_L (%)",
+                           "T_dev (C)", "P (W)", "throttled (%)", "paper l-bar",
+                           "paper sigma", "paper R_L"});
+    for (const auto& r : results) {
+        const auto s = r.trace.summary();
+        std::vector<std::string> row{
+            r.arm,
+            util::format_double(s.mean_latency_s * 1e3, 1),
+            util::format_double(s.std_latency_s * 1e3, 1),
+            util::format_double(s.satisfaction_rate * 100.0, 1),
+            util::format_double(s.mean_device_temp, 1),
+            util::format_double(s.mean_power_w, 1),
+            util::format_double(s.throttled_fraction * 100.0, 1),
+        };
+        if (r.paper) {
+            row.push_back(util::format_double(r.paper->mean_ms, 1));
+            row.push_back(util::format_double(r.paper->std_ms, 1));
+            row.push_back(util::format_double(r.paper->satisfaction * 100.0, 1));
+        } else {
+            row.insert(row.end(), {"-", "-", "-"});
+        }
+        table.add_row(std::move(row));
+    }
+    std::printf("%s", table.render(heading).c_str());
+}
+
+void print_figure(const std::string& title, const std::vector<EpisodeResult>& results) {
+    if (results.empty()) return;
+    std::printf("%s\n%s\n", title.c_str(), std::string(title.size(), '=').c_str());
+
+    const double throttle_bound_c =
+        platform::throttle_bound_celsius(results.front().config.device_spec);
+    double constraint_ms = 0.0;
+    for (const auto& r : results) constraint_ms = std::max(constraint_ms, max_constraint_ms(r));
+
+    util::AsciiChart temp_chart(110, 14);
+    for (const auto& r : results) {
+        temp_chart.add_series({r.arm, util::downsample(r.trace.device_temps(), 110)});
+    }
+    temp_chart.add_reference_line(throttle_bound_c, "throttling bound");
+    std::printf("%s\n",
+                temp_chart.render("Device temperature over iterations", "deg C").c_str());
+
+    util::AsciiChart lat_chart(110, 14);
+    for (const auto& r : results) {
+        lat_chart.add_series({r.arm, util::downsample(r.trace.latencies_ms(), 110)});
+    }
+    lat_chart.add_reference_line(constraint_ms, "latency constraint");
+    std::printf("%s\n", lat_chart.render("Inference latency over iterations", "ms").c_str());
+}
+
+void write_csv_traces(const std::string& dir, const std::string& stem,
+                      const std::vector<EpisodeResult>& results, bool announce) {
+    std::filesystem::create_directories(dir);
+    for (const auto& r : results) {
+        const auto path = dir + "/" + sanitize(stem) + "_" + sanitize(r.arm) + ".csv";
+        r.trace.write_csv(path);
+        if (announce) {
+            std::printf("[csv] wrote %s (%zu rows)\n", path.c_str(), r.trace.size());
+        }
+    }
+}
+
+} // namespace lotus::harness

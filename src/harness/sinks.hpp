@@ -1,0 +1,68 @@
+#pragma once
+// Pluggable result sinks for harness episodes.
+//
+// A ResultSink consumes the ordered EpisodeResults of one scenario and
+// renders them somewhere: the paper-style summary table, the paper-style
+// ASCII figure (temperature + latency traces with the throttling bound /
+// latency constraint reference lines), or raw per-episode CSV files. Front
+// ends compose the sinks they want; the free functions underneath are
+// available for custom headings.
+
+#include <string>
+#include <vector>
+
+#include "harness/harness.hpp"
+
+namespace lotus::harness {
+
+class ResultSink {
+public:
+    virtual ~ResultSink() = default;
+    virtual void consume(const Scenario& scenario,
+                         const std::vector<EpisodeResult>& results) = 0;
+};
+
+/// Paper-style quantitative table: l-bar / sigma_l / R_L / T_dev / P /
+/// throttled%, with the paper's reference numbers when the arm has them.
+void print_summary_table(const std::string& heading,
+                         const std::vector<EpisodeResult>& results);
+
+/// Paper-style figure: device-temperature chart (with the throttling bound)
+/// stacked above a latency chart (with the constraint), one series per
+/// episode. Bounds are derived from the episode configs.
+void print_figure(const std::string& title, const std::vector<EpisodeResult>& results);
+
+/// Write one CSV per episode: <dir>/<stem>_<arm>.csv.
+void write_csv_traces(const std::string& dir, const std::string& stem,
+                      const std::vector<EpisodeResult>& results, bool announce = true);
+
+class SummaryTableSink final : public ResultSink {
+public:
+    void consume(const Scenario& scenario,
+                 const std::vector<EpisodeResult>& results) override {
+        print_summary_table(scenario.title, results);
+    }
+};
+
+class AsciiFigureSink final : public ResultSink {
+public:
+    void consume(const Scenario& scenario,
+                 const std::vector<EpisodeResult>& results) override {
+        print_figure(scenario.title, results);
+    }
+};
+
+class CsvSink final : public ResultSink {
+public:
+    explicit CsvSink(std::string dir) : dir_(std::move(dir)) {}
+
+    void consume(const Scenario& scenario,
+                 const std::vector<EpisodeResult>& results) override {
+        write_csv_traces(dir_, scenario.name, results);
+    }
+
+private:
+    std::string dir_;
+};
+
+} // namespace lotus::harness

@@ -60,3 +60,9 @@
 #include "runtime/engine.hpp"
 #include "runtime/runner.hpp"
 #include "runtime/trace.hpp"
+
+// Experiment harness: scenario catalog + parallel episode execution
+#include "harness/harness.hpp"
+#include "harness/registry.hpp"
+#include "harness/scenario.hpp"
+#include "harness/sinks.hpp"

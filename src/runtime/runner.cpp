@@ -23,7 +23,7 @@ ExperimentRunner::ExperimentRunner(ExperimentConfig config) : config_(std::move(
     }
 }
 
-Trace ExperimentRunner::run(governors::Governor& governor) {
+Trace ExperimentRunner::run(governors::Governor& governor) const {
     platform::EdgeDevice device(config_.device_spec);
     InferenceEngine engine(device, config_.engine);
     const auto model = detector::make_detector(config_.detector);
@@ -49,7 +49,8 @@ Trace ExperimentRunner::run(governors::Governor& governor) {
         device.set_ambient(config_.ambient.at(0));
         auto& stream = stream_for(seg0.dataset);
         for (std::size_t i = 0; i < config_.pretrain_iterations; ++i) {
-            const auto frame = stream.next();
+            auto frame = stream.next();
+            if (config_.frame_hook) config_.frame_hook(frame, i);
             engine.run_frame(model, frame, governor, seg0.latency_constraint_s, i);
         }
         // Cold restart for the measured phase: the device cools down and the
@@ -66,7 +67,8 @@ Trace ExperimentRunner::run(governors::Governor& governor) {
         const double ambient = config_.ambient.at(i);
         device.set_ambient(ambient);
         auto& stream = stream_for(seg.dataset);
-        const auto frame = stream.next();
+        auto frame = stream.next();
+        if (config_.frame_hook) config_.frame_hook(frame, i);
         const auto result =
             engine.run_frame(model, frame, governor, seg.latency_constraint_s, i);
 

@@ -10,6 +10,7 @@
 // agent keeps its learned weights.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "detector/model.hpp"
@@ -29,6 +30,10 @@ struct ExperimentConfig {
     std::size_t pretrain_iterations = 0;
     std::uint64_t seed = 42;
     EngineConfig engine{};
+    /// Optional transform applied to every sampled frame before execution.
+    /// Probe scenarios (e.g. the Fig. 2 proposal sweep) use it to pin frame
+    /// properties that are normally drawn from the dataset stream.
+    std::function<void(workload::FrameSample&, std::size_t iteration)> frame_hook;
 };
 
 class ExperimentRunner {
@@ -36,9 +41,12 @@ public:
     explicit ExperimentRunner(ExperimentConfig config);
 
     /// Execute the experiment under the given governor. Each call constructs
-    /// a fresh device (cold start); the governor keeps whatever state it
-    /// accumulated (call with a fresh governor for independent runs).
-    [[nodiscard]] Trace run(governors::Governor& governor);
+    /// a fresh device, engine and frame stream (cold start); the governor
+    /// keeps whatever state it accumulated (call with a fresh governor for
+    /// independent runs). The method is const and touches no shared state,
+    /// so one runner -- or many runners -- can execute episodes from
+    /// concurrent threads as long as each thread brings its own governor.
+    [[nodiscard]] Trace run(governors::Governor& governor) const;
 
     [[nodiscard]] const ExperimentConfig& config() const noexcept { return config_; }
 

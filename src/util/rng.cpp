@@ -12,6 +12,19 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
 }
 } // namespace
 
+std::uint64_t derive_seed(std::uint64_t root, std::string_view stream_id,
+                          std::uint64_t index) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ULL; // FNV-1a over the stream id
+    for (const char c : stream_id) {
+        h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+    }
+    // Two splitmix rounds: the first folds (root, id), the second folds the
+    // index so that neighbouring indices land in unrelated states.
+    SplitMix64 first(root ^ rotl(h, 17));
+    SplitMix64 second(first.next() ^ (index * 0x9e3779b97f4a7c15ULL + 0xd1b54a32d192ed03ULL));
+    return second.next();
+}
+
 Rng::Rng(std::uint64_t seed) noexcept {
     SplitMix64 sm(seed);
     for (auto& word : s_) word = sm.next();

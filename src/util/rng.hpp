@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 namespace lotus::util {
@@ -30,6 +31,15 @@ public:
 private:
     std::uint64_t state_;
 };
+
+/// Derive a child seed from (root seed, stream id, index) with a
+/// splitmix-style avalanche over an FNV-1a hash of the id. The result
+/// depends only on the three inputs -- never on call order or thread
+/// schedule -- which is what makes parallel episode execution reproduce the
+/// serial run exactly: every (scenario, arm) episode owns a seed that is a
+/// pure function of its identity.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t root, std::string_view stream_id,
+                                        std::uint64_t index) noexcept;
 
 /// xoshiro256++ PRNG with convenience distributions.
 ///

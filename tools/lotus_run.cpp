@@ -1,15 +1,28 @@
 // lotus_run: command-line experiment runner.
 //
-// Runs one (device, detector, dataset, governor) experiment and prints the
-// paper-style summary; optionally dumps the per-iteration trace to CSV and
-// renders trace charts. This is the "do one run" front end a downstream
-// user reaches for before scripting the bench harnesses.
+// Two modes, both driven by the ExperimentHarness:
 //
-//   lotus_run --device orin --detector frcnn --dataset kitti --governor lotus
-//   lotus_run --governor fixed:7,5 --iterations 500 --chart
-//   lotus_run --device mi11 --governor ztt --pretrain 2000 --csv out.csv
+//  * Scenario mode -- run named scenarios from the ScenarioRegistry, all
+//    episodes scheduled concurrently on a fixed thread pool. Parallel runs
+//    are byte-identical to serial runs for the same seed (per-episode seed
+//    derivation), so `--jobs` is purely a throughput knob.
+//
+//      lotus_run --list-scenarios
+//      lotus_run --scenario fig4_kitti --jobs 8
+//      lotus_run --scenario table1_frcnn_kitti --scenario table1_mrcnn_kitti --chart
+//
+//  * Single-run mode -- one ad-hoc (device, detector, dataset, governor)
+//    experiment, the "do one run" front end a downstream user reaches for
+//    before scripting the bench harnesses.
+//
+//      lotus_run --device orin --detector frcnn --dataset kitti --governor lotus
+//      lotus_run --governor fixed:7,5 --iterations 500 --chart
+//      lotus_run --device mi11 --governor ztt --pretrain 2000 --csv out.csv
 //
 // Flags (all optional):
+//   --list-scenarios enumerate the registry and exit
+//   --scenario NAME  run a registry scenario (repeatable)
+//   --jobs N         worker threads for scenario mode   (default: all cores)
 //   --device     orin | mi11                        (default orin)
 //   --detector   frcnn | mrcnn | yolo               (default frcnn)
 //   --dataset    kitti | visdrone                   (default kitti)
@@ -19,14 +32,18 @@
 //   --pretrain   N   unrecorded training frames     (default 2500; agents only)
 //   --seed       S   experiment seed                (default 42)
 //   --constraint MS  latency constraint override in milliseconds
-//   --csv PATH       write the per-iteration trace as CSV
+//   --csv PATH       single run: trace CSV path; scenario mode: output dir
 //   --chart          render temperature/latency ASCII charts
+//
+// Unknown flags, unknown enum values and malformed numbers are rejected
+// with a nonzero exit -- no silent fallbacks.
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "lotus_repro.hpp"
 
@@ -45,12 +62,38 @@ struct Options {
     double constraint_ms = 0.0; // 0 -> preset
     std::string csv_path;
     bool chart = false;
+    bool list_scenarios = false;
+    std::vector<std::string> scenarios;
+    std::size_t jobs = 0; // 0 -> hardware concurrency
+    /// Single-run-only flags the user explicitly passed, so scenario mode
+    /// can reject them instead of silently ignoring an override.
+    std::vector<std::string> single_run_flags;
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
     std::fprintf(stderr, "lotus_run: %s\n(see the header of tools/lotus_run.cpp for usage)\n",
                  message.c_str());
     std::exit(2);
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& value) {
+    std::uint64_t out = 0;
+    const auto* first = value.data();
+    const auto* last = value.data() + value.size();
+    const auto [ptr, ec] = std::from_chars(first, last, out);
+    if (value.empty() || ec != std::errc{} || ptr != last) {
+        usage_error(flag + " wants a non-negative integer, got '" + value + "'");
+    }
+    return out;
+}
+
+double parse_positive_double(const std::string& flag, const std::string& value) {
+    char* end = nullptr;
+    const double out = std::strtod(value.c_str(), &end);
+    if (value.empty() || end != value.c_str() + value.size() || !(out > 0.0)) {
+        usage_error(flag + " wants a positive number, got '" + value + "'");
+    }
+    return out;
 }
 
 Options parse(int argc, char** argv) {
@@ -61,6 +104,11 @@ Options parse(int argc, char** argv) {
     };
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
+        const bool single_run_only =
+            flag == "--device" || flag == "--detector" || flag == "--dataset" ||
+            flag == "--governor" || flag == "--iterations" || flag == "--pretrain" ||
+            flag == "--constraint";
+        if (single_run_only) opt.single_run_flags.push_back(flag);
         if (flag == "--device") {
             opt.device = need_value(i);
         } else if (flag == "--detector") {
@@ -70,17 +118,25 @@ Options parse(int argc, char** argv) {
         } else if (flag == "--governor") {
             opt.governor = need_value(i);
         } else if (flag == "--iterations") {
-            opt.iterations = static_cast<std::size_t>(std::stoull(need_value(i)));
+            opt.iterations = static_cast<std::size_t>(parse_u64(flag, need_value(i)));
+            if (opt.iterations == 0) usage_error("--iterations must be > 0");
         } else if (flag == "--pretrain") {
-            opt.pretrain = static_cast<std::size_t>(std::stoull(need_value(i)));
+            opt.pretrain = static_cast<std::size_t>(parse_u64(flag, need_value(i)));
         } else if (flag == "--seed") {
-            opt.seed = std::stoull(need_value(i));
+            opt.seed = parse_u64(flag, need_value(i));
         } else if (flag == "--constraint") {
-            opt.constraint_ms = std::stod(need_value(i));
+            opt.constraint_ms = parse_positive_double(flag, need_value(i));
         } else if (flag == "--csv") {
             opt.csv_path = need_value(i);
         } else if (flag == "--chart") {
             opt.chart = true;
+        } else if (flag == "--list-scenarios") {
+            opt.list_scenarios = true;
+        } else if (flag == "--scenario") {
+            opt.scenarios.push_back(need_value(i));
+        } else if (flag == "--jobs") {
+            opt.jobs = static_cast<std::size_t>(parse_u64(flag, need_value(i)));
+            if (opt.jobs == 0) usage_error("--jobs must be >= 1");
         } else if (flag == "--help" || flag == "-h") {
             std::printf("see the header comment of tools/lotus_run.cpp for usage\n");
             std::exit(0);
@@ -98,84 +154,166 @@ detector::DetectorKind parse_detector(const std::string& s) {
     usage_error("unknown detector " + s);
 }
 
-std::unique_ptr<governors::Governor> make_governor(const Options& opt,
-                                                   const platform::DeviceSpec& spec) {
-    const auto cpu_levels = spec.cpu.opp.num_levels();
-    const auto gpu_levels = spec.gpu.opp.num_levels();
-    const bool orin = spec.name.find("orin") != std::string::npos;
+harness::ArmSpec make_arm(const Options& opt, const platform::DeviceSpec& spec) {
     const std::string& g = opt.governor;
 
-    if (g == "default") {
-        return std::make_unique<governors::DefaultGovernor>(
-            orin ? governors::DefaultGovernor::orin_nano()
-                 : governors::DefaultGovernor::mi11_lite());
-    }
+    if (g == "default") return harness::default_arm(spec);
+    if (g == "ztt") return harness::ztt_arm(spec);
+    if (g == "lotus") return harness::lotus_arm(spec);
+
+    const auto simple = [&g](auto factory) {
+        return harness::ArmSpec{
+            .name = g,
+            .make = std::move(factory),
+            .paper = std::nullopt,
+            .tweak = nullptr,
+        };
+    };
     if (g == "ondemand" || g == "conservative") {
-        return std::make_unique<governors::KernelGovernor>(
-            g + "+simple_ondemand",
-            g == "ondemand" ? governors::CpuPolicyKind::ondemand
-                            : governors::CpuPolicyKind::conservative,
-            governors::SimpleOndemandParams{});
+        return simple([g](std::uint64_t) -> std::unique_ptr<governors::Governor> {
+            return std::make_unique<governors::KernelGovernor>(
+                g + "+simple_ondemand",
+                g == "ondemand" ? governors::CpuPolicyKind::ondemand
+                                : governors::CpuPolicyKind::conservative,
+                governors::SimpleOndemandParams{});
+        });
     }
-    if (g == "ztt") {
-        governors::ZttConfig cfg;
-        cfg.t_thres_celsius = platform::reward_threshold_celsius(spec);
-        cfg.seed = opt.seed ^ 0xA5;
-        return std::make_unique<governors::ZttGovernor>(cpu_levels, gpu_levels, cfg);
+    if (g == "performance") {
+        return simple([](std::uint64_t) -> std::unique_ptr<governors::Governor> {
+            return std::make_unique<governors::PerformanceGovernor>();
+        });
     }
-    if (g == "lotus") {
-        core::LotusConfig cfg;
-        cfg.reward.t_thres_celsius = platform::reward_threshold_celsius(spec);
-        cfg.seed = opt.seed ^ 0x5A;
-        return std::make_unique<core::LotusAgent>(cpu_levels, gpu_levels, cfg);
+    if (g == "powersave") {
+        return simple([](std::uint64_t) -> std::unique_ptr<governors::Governor> {
+            return std::make_unique<governors::PowersaveGovernor>();
+        });
     }
-    if (g == "performance") return std::make_unique<governors::PerformanceGovernor>();
-    if (g == "powersave") return std::make_unique<governors::PowersaveGovernor>();
-    if (g == "random") return std::make_unique<governors::RandomGovernor>(opt.seed);
+    if (g == "random") {
+        return simple([](std::uint64_t seed) -> std::unique_ptr<governors::Governor> {
+            return std::make_unique<governors::RandomGovernor>(seed);
+        });
+    }
     if (g.rfind("fixed:", 0) == 0) {
         const auto spec_str = g.substr(6);
         const auto comma = spec_str.find(',');
-        if (comma == std::string::npos) usage_error("fixed wants fixed:<cpu>,<gpu>");
-        const auto cpu = static_cast<std::size_t>(std::stoul(spec_str.substr(0, comma)));
-        const auto gpu = static_cast<std::size_t>(std::stoul(spec_str.substr(comma + 1)));
-        return std::make_unique<governors::FixedGovernor>(cpu, gpu);
+        if (comma == std::string::npos) {
+            usage_error("malformed --governor '" + g + "': fixed wants fixed:<cpu>,<gpu>");
+        }
+        const auto cpu = static_cast<std::size_t>(
+            parse_u64("--governor fixed:<cpu>", spec_str.substr(0, comma)));
+        const auto gpu = static_cast<std::size_t>(
+            parse_u64("--governor fixed:<gpu>", spec_str.substr(comma + 1)));
+        if (cpu >= spec.cpu.opp.num_levels() || gpu >= spec.gpu.opp.num_levels()) {
+            usage_error("fixed:" + std::to_string(cpu) + "," + std::to_string(gpu) +
+                        " is outside the device's ladder (" +
+                        std::to_string(spec.cpu.opp.num_levels()) + " CPU x " +
+                        std::to_string(spec.gpu.opp.num_levels()) + " GPU levels)");
+        }
+        return harness::fixed_arm(cpu, gpu);
     }
     usage_error("unknown governor " + g);
 }
 
-} // namespace
-
-int main(int argc, char** argv) {
-    const auto opt = parse(argc, argv);
-
-    const bool orin = opt.device == "orin" || opt.device == "jetson";
-    if (!orin && opt.device != "mi11" && opt.device != "mi-11-lite") {
-        usage_error("unknown device " + opt.device);
+int list_scenarios() {
+    const auto& registry = harness::ScenarioRegistry::instance();
+    util::TextTable table({"scenario", "arms", "tags", "title"});
+    for (const auto& s : registry.all()) {
+        std::string tags;
+        for (const auto& t : s.tags) tags += tags.empty() ? t : "," + t;
+        table.add_row({s.name, std::to_string(s.arms.size()), tags, s.title});
     }
+    std::printf("%s", table.render("scenario registry (" +
+                                   std::to_string(registry.all().size()) + " scenarios)")
+                          .c_str());
+    return 0;
+}
+
+int run_scenarios(const Options& opt) {
+    if (!opt.single_run_flags.empty()) {
+        usage_error(opt.single_run_flags.front() +
+                    " only applies to single-run mode; scenario definitions are fixed "
+                    "by the registry (tune --seed/--jobs/--chart/--csv instead)");
+    }
+    const auto& registry = harness::ScenarioRegistry::instance();
+    std::vector<const harness::Scenario*> batch;
+    for (const auto& name : opt.scenarios) {
+        const auto* s = registry.find(name);
+        if (s == nullptr) {
+            std::fprintf(stderr,
+                         "lotus_run: unknown scenario '%s' (try --list-scenarios)\n",
+                         name.c_str());
+            return 2;
+        }
+        batch.push_back(s);
+    }
+
+    // Compose the requested sinks; each consumes every scenario's results.
+    std::vector<std::unique_ptr<harness::ResultSink>> sinks;
+    if (opt.chart) sinks.push_back(std::make_unique<harness::AsciiFigureSink>());
+    sinks.push_back(std::make_unique<harness::SummaryTableSink>());
+    if (!opt.csv_path.empty()) {
+        sinks.push_back(std::make_unique<harness::CsvSink>(opt.csv_path));
+    }
+
+    const harness::ExperimentHarness harness({.jobs = opt.jobs, .seed = opt.seed});
+    // Status goes to stderr so stdout is byte-identical at any --jobs count.
+    std::fprintf(stderr, "lotus_run: %zu scenario(s), %zu jobs, seed %llu\n", batch.size(),
+                 harness.config().jobs,
+                 static_cast<unsigned long long>(harness.config().seed));
+    auto results = harness.run(batch);
+
+    // Results arrive in declaration order; regroup per scenario for the sinks.
+    std::size_t cursor = 0;
+    for (const auto* s : batch) {
+        const std::vector<harness::EpisodeResult> slice(
+            std::make_move_iterator(results.begin() + static_cast<std::ptrdiff_t>(cursor)),
+            std::make_move_iterator(results.begin() +
+                                    static_cast<std::ptrdiff_t>(cursor + s->arms.size())));
+        cursor += s->arms.size();
+        for (const auto& sink : sinks) sink->consume(*s, slice);
+        std::printf("\n");
+    }
+    return 0;
+}
+
+int run_single(const Options& opt) {
+    const bool orin = opt.device == "orin" || opt.device == "jetson";
+    const bool mi11 = opt.device == "mi11" || opt.device == "mi-11-lite";
+    if (!orin && !mi11) usage_error("unknown device " + opt.device);
     const auto spec = orin ? platform::orin_nano_spec() : platform::mi11_lite_spec();
     const auto kind = parse_detector(opt.detector);
-    const std::string dataset =
-        (opt.dataset == "kitti" || opt.dataset == "KITTI") ? "KITTI" : "VisDrone2019";
+
+    std::string dataset;
+    if (opt.dataset == "kitti" || opt.dataset == "KITTI") {
+        dataset = "KITTI";
+    } else if (opt.dataset == "visdrone" || opt.dataset == "VisDrone2019") {
+        dataset = "VisDrone2019";
+    } else {
+        usage_error("unknown dataset " + opt.dataset);
+    }
     const std::size_t iterations =
         opt.iterations > 0 ? opt.iterations : (orin ? 3000 : 1000);
 
-    auto cfg = runtime::static_experiment(spec, kind, dataset, iterations, opt.pretrain,
-                                          opt.seed);
+    harness::Scenario scenario(
+        runtime::static_experiment(spec, kind, dataset, iterations, opt.pretrain));
+    scenario.name = "cli";
+    scenario.title = "lotus_run single experiment";
     if (opt.constraint_ms > 0.0) {
-        cfg.schedule = workload::DomainSchedule::constant(dataset, opt.constraint_ms / 1e3);
+        scenario.config.schedule =
+            workload::DomainSchedule::constant(dataset, opt.constraint_ms / 1e3);
     }
+    scenario.arms.push_back(make_arm(opt, spec));
 
-    auto governor = make_governor(opt, spec);
-    if (governor->decision_overhead_s() == 0.0) cfg.pretrain_iterations = 0;
-
-    std::printf("lotus_run: %s + %s + %s under %s (%zu iterations, seed %llu, L=%.0f ms)\n",
+    std::printf("lotus_run: %s + %s + %s under %s (%zu iterations, seed %llu, "
+                "L=%.0f ms)\n",
                 spec.name.c_str(), detector::to_string(kind), dataset.c_str(),
-                governor->name().c_str(), iterations,
+                scenario.arms[0].name.c_str(), iterations,
                 static_cast<unsigned long long>(opt.seed),
-                cfg.schedule.at(0).latency_constraint_s * 1e3);
+                scenario.config.schedule.at(0).latency_constraint_s * 1e3);
 
-    runtime::ExperimentRunner runner(cfg);
-    const auto trace = runner.run(*governor);
+    const harness::ExperimentHarness harness({.jobs = 1, .seed = opt.seed});
+    const auto results = harness.run(scenario);
+    const auto& trace = results[0].trace;
     const auto s = trace.summary();
 
     util::TextTable table({"metric", "value"});
@@ -198,7 +336,8 @@ int main(int argc, char** argv) {
         std::printf("%s\n", temp_chart.render("device temperature", "C").c_str());
         util::AsciiChart lat_chart(100, 12);
         lat_chart.add_series({"latency", util::downsample(trace.latencies_ms(), 100)});
-        lat_chart.add_reference_line(cfg.schedule.at(0).latency_constraint_s * 1e3, "L");
+        lat_chart.add_reference_line(
+            scenario.config.schedule.at(0).latency_constraint_s * 1e3, "L");
         std::printf("%s\n", lat_chart.render("latency", "ms").c_str());
     }
     if (!opt.csv_path.empty()) {
@@ -206,4 +345,13 @@ int main(int argc, char** argv) {
         std::printf("trace written to %s (%zu rows)\n", opt.csv_path.c_str(), trace.size());
     }
     return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const auto opt = parse(argc, argv);
+    if (opt.list_scenarios) return list_scenarios();
+    if (!opt.scenarios.empty()) return run_scenarios(opt);
+    return run_single(opt);
 }
