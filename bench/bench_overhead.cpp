@@ -2,18 +2,39 @@
 //
 // The paper reports, per inference: Q-network forward 0.42 ms (on an RTX
 // 2080Ti), 1.92 ms per socket message, 8.52 ms total across the two
-// decisions. Here we micro-benchmark *our* Q-network at both widths (the
-// absolute value depends on the host CPU; the point is that it is a
-// sub-millisecond cost, dwarfed by the detector's hundreds of milliseconds),
-// plus the simulator's per-frame cost so harness throughput is documented.
+// decisions. Two views here:
+//
+//  * wall-clock microbenchmarks of *our* Q-network and decision path (the
+//    absolute values depend on the host CPU; the point is that the compute
+//    is sub-millisecond, dwarfed by the detector's hundreds of
+//    milliseconds);
+//  * the `overhead_analysis` registry scenario run on the shared
+//    ExperimentHarness: the modelled per-decision communication cost that
+//    the engine charges to every frame, as a share of the measured frame
+//    latency, for zTT (one decision) vs LOTUS (two decisions).
+//
+// The wall-clock numbers are inherently non-deterministic; everything
+// driven through the harness is seed-reproducible like every other bench.
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
 
-#include "lotus_repro.hpp"
+#include "common.hpp"
 
 using namespace lotus;
 
 namespace {
+
+/// Optimization barrier for the microbench loops.
+volatile double g_sink = 0.0;
+
+template <typename F>
+double mean_us_per_call(F&& fn, int calls) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < calls; ++i) fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(t1 - t0).count() / calls;
+}
 
 rl::MlpConfig paper_qnet_config() {
     // 4-layer MLP over the 7-feature state and the Orin's 48 joint actions.
@@ -24,95 +45,111 @@ rl::MlpConfig paper_qnet_config() {
     return cfg;
 }
 
-void BM_QNetworkForwardFullWidth(benchmark::State& state) {
-    rl::SlimmableMlp net(paper_qnet_config());
-    const std::vector<double> x(core::kStateDim, 0.5);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(net.forward(x, 1.0));
-    }
-}
-BENCHMARK(BM_QNetworkForwardFullWidth);
+void microbench() {
+    const int calls = harness::fast_mode() ? 200 : 2000;
+    util::TextTable table({"operation", "mean (us/call)"});
 
-void BM_QNetworkForwardReducedWidth(benchmark::State& state) {
-    rl::SlimmableMlp net(paper_qnet_config());
-    const std::vector<double> x(core::kStateDim, 0.5);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(net.forward(x, 0.75));
+    {
+        rl::SlimmableMlp net(paper_qnet_config());
+        const std::vector<double> x(core::kStateDim, 0.5);
+        table.add_row({"Q-network forward, width 1.0",
+                       util::format_double(mean_us_per_call(
+                           [&] { g_sink = net.forward(x, 1.0)[0]; }, calls), 2)});
+        table.add_row({"Q-network forward, width 0.75",
+                       util::format_double(mean_us_per_call(
+                           [&] { g_sink = net.forward(x, 0.75)[0]; }, calls), 2)});
     }
+    {
+        rl::DqnConfig dqn_cfg;
+        dqn_cfg.batch_size = 32;
+        rl::DqnCore dqn(paper_qnet_config(), dqn_cfg);
+        rl::ReplayBuffer buffer(256);
+        util::Rng rng(3);
+        for (int i = 0; i < 256; ++i) {
+            rl::Transition t;
+            t.state = std::vector<double>(core::kStateDim, rng.uniform());
+            t.action = static_cast<int>(rng.uniform_int(0, 47));
+            t.reward = rng.uniform(-1, 2);
+            t.next_state = std::vector<double>(core::kStateDim, rng.uniform());
+            t.width_state = (i % 2 == 0) ? 0.75 : 1.0;
+            t.width_next = (i % 2 == 0) ? 1.0 : 0.75;
+            buffer.push(std::move(t));
+        }
+        table.add_row({"DQN train step, batch 32",
+                       util::format_double(mean_us_per_call(
+                           [&] { g_sink = dqn.train_step(buffer, rng, 1); },
+                           calls / 10 + 1), 2)});
+    }
+    {
+        // Both per-frame decisions including state encoding and action
+        // decode -- the client-visible compute cost of the agent (excluding
+        // the modelled socket latency, which the engine charges as dead
+        // time).
+        core::LotusConfig cfg;
+        cfg.train_online = false;
+        core::LotusAgent agent(8, 6, cfg);
+        governors::Observation start;
+        start.cpu_temp = 60;
+        start.gpu_temp = 70;
+        start.cpu_level = 5;
+        start.gpu_level = 3;
+        start.cpu_levels = 8;
+        start.gpu_levels = 6;
+        start.latency_constraint_s = 0.45;
+        start.last_frame_latency_s = 0.4;
+        auto rpn = start;
+        rpn.proposals = 200;
+        rpn.elapsed_in_frame_s = 0.3;
+        governors::FrameOutcome outcome;
+        outcome.latency_s = 0.4;
+        outcome.latency_constraint_s = 0.45;
+        outcome.cpu_temp = 60;
+        outcome.gpu_temp = 70;
+        table.add_row({"LOTUS decision pair (inference only)",
+                       util::format_double(mean_us_per_call(
+                           [&] {
+                               g_sink = agent.on_frame_start(start).has_request ? 1.0 : 0.0;
+                               g_sink = agent.on_post_rpn(rpn).has_request ? 1.0 : 0.0;
+                               agent.on_frame_end(outcome);
+                           },
+                           calls), 2)});
+    }
+    std::printf("%s", table.render("wall-clock microbenchmarks (host CPU)").c_str());
+    std::printf("(paper, Sec. 4.4.2: 0.42 ms per Q-network forward on an RTX 2080Ti)\n\n");
 }
-BENCHMARK(BM_QNetworkForwardReducedWidth);
-
-void BM_QNetworkTrainBatch32(benchmark::State& state) {
-    rl::DqnConfig dqn_cfg;
-    dqn_cfg.batch_size = 32;
-    rl::DqnCore dqn(paper_qnet_config(), dqn_cfg);
-    rl::ReplayBuffer buffer(256);
-    util::Rng rng(3);
-    for (int i = 0; i < 256; ++i) {
-        rl::Transition t;
-        t.state = std::vector<double>(core::kStateDim, rng.uniform());
-        t.action = static_cast<int>(rng.uniform_int(0, 47));
-        t.reward = rng.uniform(-1, 2);
-        t.next_state = std::vector<double>(core::kStateDim, rng.uniform());
-        t.width_state = (i % 2 == 0) ? 0.75 : 1.0;
-        t.width_next = (i % 2 == 0) ? 1.0 : 0.75;
-        buffer.push(std::move(t));
-    }
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(dqn.train_step(buffer, rng, 1));
-    }
-}
-BENCHMARK(BM_QNetworkTrainBatch32);
-
-void BM_AgentDecisionPair(benchmark::State& state) {
-    // Both per-frame decisions including state encoding and action decode --
-    // the client-visible compute cost of the agent (excluding the modelled
-    // socket latency, which the engine charges as dead time).
-    core::LotusConfig cfg;
-    cfg.train_online = false;
-    core::LotusAgent agent(8, 6, cfg);
-    governors::Observation start;
-    start.cpu_temp = 60;
-    start.gpu_temp = 70;
-    start.cpu_level = 5;
-    start.gpu_level = 3;
-    start.cpu_levels = 8;
-    start.gpu_levels = 6;
-    start.latency_constraint_s = 0.45;
-    start.last_frame_latency_s = 0.4;
-    auto rpn = start;
-    rpn.proposals = 200;
-    rpn.elapsed_in_frame_s = 0.3;
-    governors::FrameOutcome outcome;
-    outcome.latency_s = 0.4;
-    outcome.latency_constraint_s = 0.45;
-    outcome.cpu_temp = 60;
-    outcome.gpu_temp = 70;
-
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(agent.on_frame_start(start));
-        benchmark::DoNotOptimize(agent.on_post_rpn(rpn));
-        agent.on_frame_end(outcome);
-    }
-}
-BENCHMARK(BM_AgentDecisionPair);
-
-void BM_SimulatedFrame(benchmark::State& state) {
-    // Harness throughput: one simulated FasterRCNN frame under a fixed
-    // governor (thermal integration + work slicing included).
-    platform::EdgeDevice device(platform::orin_nano_spec());
-    runtime::InferenceEngine engine(device);
-    const auto model = detector::faster_rcnn_r50();
-    governors::FixedGovernor governor(5, 3);
-    workload::FrameSample frame;
-    frame.proposals = 150;
-    std::size_t i = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(engine.run_frame(model, frame, governor, 0.45, i++));
-    }
-}
-BENCHMARK(BM_SimulatedFrame);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main() {
+    std::printf("Sec. 4.4.2 -- overhead analysis of the agent\n\n");
+    microbench();
+
+    // Modelled communication overhead, via the registry scenario: how much
+    // of each measured frame the engine charged to agent round-trips.
+    const auto& sc = bench::scenario("overhead_analysis");
+    const auto results = bench::run(sc);
+    bench::maybe_dump_csv(sc.name, results);
+
+    const double per_decision_ms = core::LotusConfig{}.decision_overhead_s * 1e3;
+    util::TextTable table({"method", "decisions/frame", "charged overhead (ms)",
+                           "mean frame (ms)", "overhead share (%)"});
+    for (const auto& r : results) {
+        const auto s = r.trace.summary();
+        // zTT decides once per frame, LOTUS at frame start + post-RPN.
+        const int decisions = (r.arm == "zTT") ? 1 : 2;
+        const double overhead_ms = per_decision_ms * decisions;
+        table.add_row({
+            r.arm,
+            std::to_string(decisions),
+            util::format_double(overhead_ms, 2),
+            util::format_double(s.mean_latency_s * 1e3, 1),
+            util::format_double(100.0 * overhead_ms / (s.mean_latency_s * 1e3), 2),
+        });
+    }
+    table.add_row({"(paper total)", "2", "8.52", "-", "-"});
+    std::printf("%s", table.render(sc.title).c_str());
+    std::printf("Expected shape: the agent costs a few ms per frame -- one to two percent\n"
+                "of a several-hundred-ms detector inference, the paper's negligibility\n"
+                "argument.\n");
+    return 0;
+}

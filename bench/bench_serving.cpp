@@ -1,0 +1,37 @@
+// Serving comparison: LOTUS vs the Linux governors under saturation.
+//
+// The paper evaluates governors one frame stream at a time; this bench asks
+// the production question instead: with 8 Poisson camera streams offering
+// ~30% more load than the device sustains, which governor loses the fewest
+// deadlines -- and at what temperature? The `serve_saturation` registry
+// scenario pits the stock kernel governors (default), the `performance`
+// governor (max frequency, maximum heat), zTT and LOTUS against the same
+// request timeline under deadline-aware EDF admission control.
+//
+// Shed requests count as SLO violations: admission control may not launder
+// the miss rate.
+
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace lotus;
+
+int main() {
+    const auto& sc = bench::scenario("serve_saturation");
+    std::printf("Serving under saturation -- %zu streams, scheduler %s\n",
+                sc.serving->streams.size(), sc.serving->scheduler.c_str());
+    std::printf("(%zu requests/stream; learning governors pre-trained for %zu frames)\n\n",
+                sc.serving->streams.front().requests, sc.serving->pretrain_iterations);
+
+    const auto results = bench::run(sc);
+    harness::print_serving_table(sc.title, results);
+    bench::maybe_dump_csv(sc.name, results);
+
+    std::printf("\nShape targets (absolute numbers differ; the substrate is a simulator):\n"
+                "  miss rate: Lotus < performance and Lotus < default -- max frequency\n"
+                "  heat-soaks the device into throttling, which a thermally-aware pace\n"
+                "  avoids; peak temperature: Lotus <= performance; throughput: Lotus\n"
+                "  within a few percent of the best arm.\n");
+    return 0;
+}

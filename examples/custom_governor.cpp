@@ -97,6 +97,7 @@ int main() {
         },
         .paper = std::nullopt,
         .tweak = nullptr,
+        .serving_tweak = nullptr,
     });
     scenario.arms.push_back(harness::lotus_arm(spec));
 

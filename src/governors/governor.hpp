@@ -35,10 +35,16 @@ struct Observation {
     std::size_t cpu_levels = 1;
     std::size_t gpu_levels = 1;
     double latency_constraint_s = 0.0;
-    /// Latency of the previous frame (0 before the first frame completes).
+    /// End-to-end latency of the previous frame, queueing delay included
+    /// (0 before the first frame completes).
     double last_frame_latency_s = 0.0;
-    /// Time already spent in the current frame (post-RPN decision only).
+    /// Time already counted against the current frame's deadline: the queue
+    /// wait at the frame-start decision, queue wait + stage-1 execution at
+    /// the post-RPN decision.
     double elapsed_in_frame_s = 0.0;
+    /// Queueing delay the current frame suffered before execution started
+    /// (serving runtime; 0 in the one-frame-at-a-time experiment loop).
+    double queue_wait_s = 0.0;
     /// RPN proposal count; -1 at the frame-start decision (not yet known).
     int proposals = -1;
     bool throttled = false;
@@ -74,7 +80,12 @@ struct LevelRequest {
 /// reward and train here.
 struct FrameOutcome {
     std::size_t iteration = 0;
+    /// End-to-end latency: queue wait + execution. This is what learning
+    /// governors score against the constraint -- under a serving queue the
+    /// deadline is burnt by waiting just as surely as by slow inference.
     double latency_s = 0.0;
+    /// Queueing delay component of latency_s (0 outside the serving runtime).
+    double queue_wait_s = 0.0;
     double stage1_latency_s = 0.0;
     double stage2_latency_s = 0.0;
     int proposals = 0;

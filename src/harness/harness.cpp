@@ -5,6 +5,7 @@
 #include <optional>
 #include <thread>
 
+#include "serving/engine.hpp"
 #include "util/rng.hpp"
 
 namespace lotus::harness {
@@ -30,13 +31,28 @@ EpisodeResult ExperimentHarness::run_episode(const Scenario& scenario,
     cfg.seed = sm.next();
     auto governor = arm.make(sm.next());
 
+    if (scenario.serving) {
+        auto serving_cfg = *scenario.serving;
+        if (arm.serving_tweak) arm.serving_tweak(serving_cfg);
+        serving_cfg.seed = cfg.seed;
+        // Non-learning governors need no warm-up (same rule as below).
+        if (governor->decision_overhead_s() == 0.0) serving_cfg.pretrain_iterations = 0;
+        const serving::ServingEngine engine(serving_cfg);
+        auto trace = engine.run(*governor);
+        return EpisodeResult{scenario.name,    arm.name,
+                             episode_seed,     std::move(cfg),
+                             runtime::Trace{}, arm.paper,
+                             std::move(serving_cfg), std::move(trace)};
+    }
+
     // Non-learning governors need no warm-up; skipping it keeps sweeps fast.
     if (governor->decision_overhead_s() == 0.0) cfg.pretrain_iterations = 0;
 
     const runtime::ExperimentRunner runner(cfg);
     auto trace = runner.run(*governor);
-    return EpisodeResult{scenario.name, arm.name,       episode_seed,
-                         std::move(cfg), std::move(trace), arm.paper};
+    return EpisodeResult{scenario.name,  arm.name,         episode_seed,
+                         std::move(cfg), std::move(trace), arm.paper,
+                         std::nullopt,   std::nullopt};
 }
 
 std::vector<EpisodeResult> ExperimentHarness::run(const Scenario& scenario) const {

@@ -23,6 +23,7 @@
 
 #include "harness/scenario.hpp"
 #include "runtime/trace.hpp"
+#include "serving/trace.hpp"
 
 namespace lotus::harness {
 
@@ -40,8 +41,15 @@ struct EpisodeResult {
     std::uint64_t episode_seed = 0;
     /// The resolved per-episode config (tweaks applied, seed substituted).
     runtime::ExperimentConfig config;
+    /// Per-iteration trace (classic experiment episodes; empty for serving).
     runtime::Trace trace;
     std::optional<PaperRow> paper;
+    /// Serving episodes only: the resolved serving config and the
+    /// per-request ledger produced by the ServingEngine.
+    std::optional<serving::ServingConfig> serving_config;
+    std::optional<serving::ServingTrace> serving_trace;
+
+    [[nodiscard]] bool is_serving() const noexcept { return serving_trace.has_value(); }
 };
 
 class ExperimentHarness {

@@ -96,6 +96,45 @@ workload::AmbientProfile mission_profile(std::size_t frames) {
         "drone mission: ground/climb/loiter/descend");
 }
 
+/// Requests each serving stream emits (shrunk in fast mode like the
+/// iteration budgets).
+std::size_t serve_requests() { return fast_mode() ? 25 : 150; }
+
+serving::StreamSpec cam_stream(std::string name, std::string dataset, double slo_s,
+                               std::size_t requests, serving::ArrivalSpec arrival) {
+    serving::StreamSpec s;
+    s.name = std::move(name);
+    s.dataset = std::move(dataset);
+    s.slo_s = slo_s;
+    s.requests = requests;
+    s.arrival = arrival;
+    return s;
+}
+
+/// Serving-scenario shell: the caller appends streams and arms. The classic
+/// config half still names the device/detector so arm factories and sinks
+/// (throttle bounds) keep working.
+Scenario serving_scenario(const platform::DeviceSpec& spec, std::string name,
+                          std::string title, std::string description,
+                          std::string scheduler) {
+    Scenario s(runtime::static_experiment(spec, DetectorKind::faster_rcnn, "KITTI", 1, 0));
+    s.name = std::move(name);
+    s.title = std::move(title);
+    s.description = std::move(description);
+    s.tags = {"serving"};
+    serving::ServingConfig cfg(spec);
+    cfg.detector = DetectorKind::faster_rcnn;
+    cfg.scheduler = std::move(scheduler);
+    cfg.pretrain_iterations = pretrain_iterations();
+    // Warm up against the device-calibrated per-frame constraint, not the
+    // (queueing-padded) SLO: a saturated queue needs frames served at the
+    // single-frame pace.
+    cfg.pretrain_constraint_s = workload::latency_constraint_s(
+        spec.name, DetectorKind::faster_rcnn, "KITTI");
+    s.serving = std::move(cfg);
+    return s;
+}
+
 /// Heatwave ambient: 25 C baseline, ramp to a mid-run peak, ramp back --
 /// a summer-afternoon profile no paper figure covers.
 workload::AmbientProfile heatwave_profile(std::size_t frames, double peak_c) {
@@ -460,6 +499,153 @@ ScenarioRegistry::ScenarioRegistry() {
             s.arms.push_back(
                 constraint_arm(orin, "VisDrone2019", DetectorKind::faster_rcnn, scale));
         }
+        scenarios_.push_back(std::move(s));
+    }
+
+    // --- Serving scenarios (multi-stream runtime) -----------------------------
+    // N camera/client streams multiplexed onto one device through the
+    // serving::ServingEngine. The Orin + FasterRCNN cell sustains roughly
+    // 2.2-2.9 requests/s depending on the governor, which calibrates the
+    // load points below: "light" sits well under capacity, "saturation"
+    // ~30% above it, and the rest shape *when* the load lands rather than
+    // how much of it there is.
+    {
+        const double slo = 0.9; // 2x the single-frame constraint: queueing headroom
+        const std::size_t n = serve_requests();
+
+        {
+            Scenario s = serving_scenario(
+                orin, "serve_light", "Serving: light load",
+                "4 periodic KITTI streams at 1.2 req/s total -- far under device "
+                "capacity; every policy should be near-perfect here (regression "
+                "anchor for the serving stack).",
+                "fifo");
+            for (int i = 0; i < 4; ++i) {
+                s.serving->streams.push_back(cam_stream(
+                    "cam" + std::to_string(i), "KITTI", slo, n,
+                    {.kind = serving::ArrivalKind::periodic, .rate_hz = 0.3,
+                     .phase_s = 0.8 * i}));
+            }
+            s.arms.push_back(default_arm(orin));
+            s.arms.push_back(lotus_arm(orin));
+            scenarios_.push_back(std::move(s));
+        }
+        {
+            Scenario s = serving_scenario(
+                orin, "serve_saturation", "Serving: saturation",
+                "8 Poisson KITTI streams at ~3.4 req/s total, ~30% above device "
+                "capacity: the queue never drains, so admission control and "
+                "thermal headroom decide the deadline-miss rate. The headline "
+                "LOTUS-vs-Linux-governors serving comparison (bench_serving).",
+                "edf_admit");
+            for (int i = 0; i < 8; ++i) {
+                s.serving->streams.push_back(cam_stream(
+                    "cam" + std::to_string(i), "KITTI", slo, n,
+                    {.kind = serving::ArrivalKind::poisson, .rate_hz = 0.42,
+                     .phase_s = 0.25 * i}));
+            }
+            s.arms.push_back(default_arm(orin));
+            s.arms.push_back(performance_arm());
+            s.arms.push_back(ztt_arm(orin));
+            s.arms.push_back(lotus_arm(orin));
+            scenarios_.push_back(std::move(s));
+        }
+        {
+            Scenario s = serving_scenario(
+                orin, "serve_burst_storm", "Serving: burst storm",
+                "8 motion-triggered KITTI streams firing 6-request volleys; the "
+                "mean rate is sustainable but volleys overlap, so the queue "
+                "oscillates between empty and deep.",
+                "edf_admit");
+            for (int i = 0; i < 8; ++i) {
+                s.serving->streams.push_back(cam_stream(
+                    "cam" + std::to_string(i), "KITTI", slo, n,
+                    {.kind = serving::ArrivalKind::bursty, .rate_hz = 0.33,
+                     .phase_s = 2.1 * i, .burst = 6}));
+            }
+            s.arms.push_back(default_arm(orin));
+            s.arms.push_back(lotus_arm(orin));
+            scenarios_.push_back(std::move(s));
+        }
+        {
+            Scenario s = serving_scenario(
+                orin, "serve_mixed_slo", "Serving: mixed tenants, tight and bulk SLOs",
+                "3 tight-SLO KITTI streams (600 ms) share the device with 3 "
+                "bulk VisDrone2019 streams (2.5 s): EDF must interleave heavy "
+                "low-urgency frames with light urgent ones.",
+                "edf");
+            for (int i = 0; i < 3; ++i) {
+                s.serving->streams.push_back(cam_stream(
+                    "tight" + std::to_string(i), "KITTI", 0.6, n,
+                    {.kind = serving::ArrivalKind::poisson, .rate_hz = 0.3,
+                     .phase_s = 0.5 * i}));
+                s.serving->streams.push_back(cam_stream(
+                    "bulk" + std::to_string(i), "VisDrone2019", 2.5, n,
+                    {.kind = serving::ArrivalKind::poisson, .rate_hz = 0.18,
+                     .phase_s = 1.0 + 0.5 * i}));
+            }
+            s.arms.push_back(default_arm(orin));
+            s.arms.push_back(lotus_arm(orin));
+            scenarios_.push_back(std::move(s));
+        }
+        {
+            Scenario s = serving_scenario(
+                orin, "serve_diurnal", "Serving: diurnal ramp",
+                "6 KITTI streams under a non-homogeneous Poisson day/night "
+                "profile: the trough idles (and cools) the device, the peak "
+                "pushes past capacity -- sustained-load adaptation in one run.",
+                "edf_admit");
+            for (int i = 0; i < 6; ++i) {
+                s.serving->streams.push_back(cam_stream(
+                    "cam" + std::to_string(i), "KITTI", slo, n,
+                    {.kind = serving::ArrivalKind::diurnal, .rate_hz = 0.4,
+                     .phase_s = 0.7 * i}));
+            }
+            s.arms.push_back(default_arm(orin));
+            s.arms.push_back(lotus_arm(orin));
+            scenarios_.push_back(std::move(s));
+        }
+        {
+            Scenario s = serving_scenario(
+                orin, "serve_latency_attack", "Serving: latency attack",
+                "2 well-behaved periodic streams suffer 2 adversarial streams "
+                "that stay quiet long enough for the device to cool, then dump "
+                "dense 10-request volleys with a 300 ms SLO -- the bursty "
+                "worst case of \"Can't Slow me Down\". Admission control must "
+                "shed the hopeless volley tail instead of sacrificing the "
+                "victims.",
+                "edf_admit");
+            for (int i = 0; i < 2; ++i) {
+                s.serving->streams.push_back(cam_stream(
+                    "victim" + std::to_string(i), "KITTI", slo, n,
+                    {.kind = serving::ArrivalKind::periodic, .rate_hz = 0.3,
+                     .phase_s = 1.6 * i}));
+                s.serving->streams.push_back(cam_stream(
+                    "attack" + std::to_string(i), "KITTI", 0.3, n,
+                    {.kind = serving::ArrivalKind::attack, .rate_hz = 0.5,
+                     .phase_s = 3.0 * i, .burst = 10}));
+            }
+            s.arms.push_back(default_arm(orin));
+            s.arms.push_back(lotus_arm(orin));
+            scenarios_.push_back(std::move(s));
+        }
+    }
+
+    // --- Overhead analysis (Sec. 4.4.2) ---------------------------------------
+    {
+        Scenario s(runtime::static_experiment(orin, DetectorKind::faster_rcnn, "KITTI",
+                                              fast_mode() ? 200 : 1000,
+                                              fast_mode() ? 200 : 1000));
+        s.name = "overhead_analysis";
+        s.title = "Overhead: agent cost per inference";
+        s.description = "Short KITTI run for the agent-overhead accounting of "
+                        "Sec. 4.4.2: the charged per-decision communication cost vs "
+                        "the detector's frame latency, zTT (one decision) vs LOTUS "
+                        "(two decisions). bench_overhead adds wall-clock "
+                        "microbenchmarks of the Q-network on top.";
+        s.tags = {"paper", "overhead"};
+        s.arms.push_back(ztt_arm(orin));
+        s.arms.push_back(lotus_arm(orin));
         scenarios_.push_back(std::move(s));
     }
 }

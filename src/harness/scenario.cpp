@@ -24,6 +24,7 @@ ArmSpec default_arm(const platform::DeviceSpec& spec) {
         },
         .paper = std::nullopt,
         .tweak = nullptr,
+        .serving_tweak = nullptr,
     };
 }
 
@@ -42,6 +43,7 @@ ArmSpec ztt_arm(const platform::DeviceSpec& spec) {
         },
         .paper = std::nullopt,
         .tweak = nullptr,
+        .serving_tweak = nullptr,
     };
 }
 
@@ -68,6 +70,7 @@ ArmSpec lotus_arm_with(const platform::DeviceSpec& spec, const std::string& labe
         },
         .paper = std::nullopt,
         .tweak = nullptr,
+        .serving_tweak = nullptr,
     };
 }
 
@@ -80,6 +83,33 @@ ArmSpec fixed_arm(std::size_t cpu_level, std::size_t gpu_level) {
         },
         .paper = std::nullopt,
         .tweak = nullptr,
+        .serving_tweak = nullptr,
+    };
+}
+
+ArmSpec performance_arm() {
+    return ArmSpec{
+        .name = "performance",
+        .make =
+            [](std::uint64_t) -> std::unique_ptr<governors::Governor> {
+            return std::make_unique<governors::PerformanceGovernor>();
+        },
+        .paper = std::nullopt,
+        .tweak = nullptr,
+        .serving_tweak = nullptr,
+    };
+}
+
+ArmSpec powersave_arm() {
+    return ArmSpec{
+        .name = "powersave",
+        .make =
+            [](std::uint64_t) -> std::unique_ptr<governors::Governor> {
+            return std::make_unique<governors::PowersaveGovernor>();
+        },
+        .paper = std::nullopt,
+        .tweak = nullptr,
+        .serving_tweak = nullptr,
     };
 }
 

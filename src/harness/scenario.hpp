@@ -24,6 +24,7 @@
 #include "lotus/agent.hpp"
 #include "platform/device.hpp"
 #include "runtime/runner.hpp"
+#include "serving/request.hpp"
 
 namespace lotus::harness {
 
@@ -43,6 +44,9 @@ struct ArmSpec {
     std::function<std::unique_ptr<governors::Governor>(std::uint64_t seed)> make;
     std::optional<PaperRow> paper;
     std::function<void(runtime::ExperimentConfig&)> tweak;
+    /// Per-arm adjustment of a serving scenario's config (scheduler shootouts
+    /// etc.); ignored for classic experiment scenarios.
+    std::function<void(serving::ServingConfig&)> serving_tweak;
 };
 
 /// A named, tagged experiment: config + arms. (Constructed from its config
@@ -55,9 +59,14 @@ struct Scenario {
     std::string description; // one paragraph for --list-scenarios / docs
     std::vector<std::string> tags; // e.g. {"paper", "figure"} or {"stress"}
     runtime::ExperimentConfig config;
+    /// When set, episodes run on the serving::ServingEngine (multi-stream
+    /// request serving) instead of the runtime::ExperimentRunner; `config`
+    /// still names the device/detector for arm factories and sinks.
+    std::optional<serving::ServingConfig> serving;
     std::vector<ArmSpec> arms;
 
     [[nodiscard]] bool has_tag(const std::string& tag) const;
+    [[nodiscard]] bool is_serving() const noexcept { return serving.has_value(); }
 };
 
 // --- standard arm factories --------------------------------------------------
@@ -79,5 +88,11 @@ struct Scenario {
 
 /// Frequency ladder pinned at (cpu_level, gpu_level).
 [[nodiscard]] ArmSpec fixed_arm(std::size_t cpu_level, std::size_t gpu_level);
+
+/// Linux `performance` governor (both domains pinned to the top level).
+[[nodiscard]] ArmSpec performance_arm();
+
+/// Linux `powersave` governor (both domains pinned to the bottom level).
+[[nodiscard]] ArmSpec powersave_arm();
 
 } // namespace lotus::harness

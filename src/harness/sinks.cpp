@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
+#include <set>
 
 #include "platform/presets.hpp"
 #include "util/ascii.hpp"
@@ -30,6 +31,91 @@ double max_constraint_ms(const EpisodeResult& r) {
         best = std::max(best, seg.latency_constraint_s * 1e3);
     }
     return best;
+}
+
+/// Largest SLO across a serving episode's streams.
+double max_slo_ms(const EpisodeResult& r) {
+    double best = 0.0;
+    if (r.serving_config) {
+        for (const auto& s : r.serving_config->streams) {
+            best = std::max(best, s.slo_s * 1e3);
+        }
+    }
+    return best;
+}
+
+// --- JSON helpers ------------------------------------------------------------
+// Hand-rolled emission: the documents are flat and small, and the repo takes
+// no dependencies. Strings get RFC 8259 escaping; non-finite numbers (which
+// JSON cannot represent) degrade to null.
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out.push_back(c);
+                }
+        }
+    }
+    return out;
+}
+
+std::string jstr(const std::string& s) { return "\"" + json_escape(s) + "\""; }
+
+std::string jnum(double v) {
+    const auto s = util::format_double(v, 6);
+    if (s == "nan" || s == "inf" || s == "-inf") return "null";
+    return s;
+}
+
+std::string experiment_summary_json(const runtime::Summary& s) {
+    std::string o = "{";
+    o += "\"frames\":" + std::to_string(s.frames);
+    o += ",\"mean_latency_ms\":" + jnum(s.mean_latency_s * 1e3);
+    o += ",\"std_latency_ms\":" + jnum(s.std_latency_s * 1e3);
+    o += ",\"satisfaction_rate\":" + jnum(s.satisfaction_rate);
+    o += ",\"mean_device_temp_c\":" + jnum(s.mean_device_temp);
+    o += ",\"max_device_temp_c\":" + jnum(s.max_device_temp);
+    o += ",\"throttled_fraction\":" + jnum(s.throttled_fraction);
+    o += ",\"mean_power_w\":" + jnum(s.mean_power_w);
+    o += ",\"mean_proposals\":" + jnum(s.mean_proposals);
+    o += "}";
+    return o;
+}
+
+std::string serving_summary_json(const serving::ServingSummary& s) {
+    std::string o = "{";
+    o += "\"stream\":" + jstr(s.stream);
+    o += ",\"requests\":" + std::to_string(s.requests);
+    o += ",\"served\":" + std::to_string(s.served);
+    o += ",\"shed\":" + std::to_string(s.shed);
+    o += ",\"missed\":" + std::to_string(s.missed);
+    o += ",\"p50_ms\":" + jnum(s.p50_ms);
+    o += ",\"p95_ms\":" + jnum(s.p95_ms);
+    o += ",\"p99_ms\":" + jnum(s.p99_ms);
+    o += ",\"mean_wait_ms\":" + jnum(s.mean_wait_ms);
+    o += ",\"miss_rate\":" + jnum(s.miss_rate);
+    o += ",\"shed_rate\":" + jnum(s.shed_rate);
+    o += ",\"throughput_rps\":" + jnum(s.throughput_rps);
+    o += ",\"energy_per_req_j\":" + jnum(s.energy_per_req_j);
+    o += ",\"mean_device_temp_c\":" + jnum(s.mean_device_temp_c);
+    o += ",\"peak_device_temp_c\":" + jnum(s.peak_device_temp_c);
+    o += "}";
+    return o;
 }
 
 } // namespace
@@ -62,41 +148,206 @@ void print_summary_table(const std::string& heading,
     std::printf("%s", table.render(heading).c_str());
 }
 
+void print_serving_table(const std::string& heading,
+                         const std::vector<EpisodeResult>& results) {
+    util::TextTable table({"method", "stream", "req", "served", "shed", "miss (%)",
+                           "shed (%)", "p50 (ms)", "p95 (ms)", "p99 (ms)", "wait (ms)",
+                           "thrpt (rps)", "T_peak (C)", "E/req (J)"});
+    for (const auto& r : results) {
+        if (!r.serving_trace) continue;
+        for (const auto& s : r.serving_trace->all_summaries()) {
+            table.add_row({
+                r.arm,
+                s.stream,
+                std::to_string(s.requests),
+                std::to_string(s.served),
+                std::to_string(s.shed),
+                util::format_double(s.miss_rate * 100.0, 1),
+                util::format_double(s.shed_rate * 100.0, 1),
+                util::format_double(s.p50_ms, 1),
+                util::format_double(s.p95_ms, 1),
+                util::format_double(s.p99_ms, 1),
+                util::format_double(s.mean_wait_ms, 1),
+                util::format_double(s.throughput_rps, 2),
+                util::format_double(s.peak_device_temp_c, 1),
+                util::format_double(s.energy_per_req_j, 1),
+            });
+        }
+    }
+    std::printf("%s", table.render(heading).c_str());
+}
+
 void print_figure(const std::string& title, const std::vector<EpisodeResult>& results) {
     if (results.empty()) return;
     std::printf("%s\n%s\n", title.c_str(), std::string(title.size(), '=').c_str());
 
+    const bool serving = results.front().is_serving();
     const double throttle_bound_c =
         platform::throttle_bound_celsius(results.front().config.device_spec);
-    double constraint_ms = 0.0;
-    for (const auto& r : results) constraint_ms = std::max(constraint_ms, max_constraint_ms(r));
 
     util::AsciiChart temp_chart(110, 14);
     for (const auto& r : results) {
-        temp_chart.add_series({r.arm, util::downsample(r.trace.device_temps(), 110)});
+        temp_chart.add_series(
+            {r.arm, util::downsample(serving ? r.serving_trace->device_temps()
+                                             : r.trace.device_temps(),
+                                     110)});
     }
     temp_chart.add_reference_line(throttle_bound_c, "throttling bound");
     std::printf("%s\n",
                 temp_chart.render("Device temperature over iterations", "deg C").c_str());
 
+    double bound_ms = 0.0;
+    for (const auto& r : results) {
+        bound_ms = std::max(bound_ms, serving ? max_slo_ms(r) : max_constraint_ms(r));
+    }
     util::AsciiChart lat_chart(110, 14);
     for (const auto& r : results) {
-        lat_chart.add_series({r.arm, util::downsample(r.trace.latencies_ms(), 110)});
+        lat_chart.add_series(
+            {r.arm,
+             util::downsample(serving ? r.serving_trace->e2e_ms() : r.trace.latencies_ms(),
+                              110)});
     }
-    lat_chart.add_reference_line(constraint_ms, "latency constraint");
-    std::printf("%s\n", lat_chart.render("Inference latency over iterations", "ms").c_str());
+    lat_chart.add_reference_line(bound_ms, serving ? "max SLO" : "latency constraint");
+    std::printf("%s\n",
+                lat_chart
+                    .render(serving ? "End-to-end latency over requests"
+                                    : "Inference latency over iterations",
+                            "ms")
+                    .c_str());
 }
 
 void write_csv_traces(const std::string& dir, const std::string& stem,
                       const std::vector<EpisodeResult>& results, bool announce) {
     std::filesystem::create_directories(dir);
+
+    // Sanitizing is lossy ("a,b" and "a.b" both map to "a_b"): keep the
+    // trace files one-per-episode by suffixing repeats in declaration order.
+    std::set<std::string> used;
+    const auto unique_path = [&](const std::string& base) {
+        std::string name = base;
+        for (std::size_t n = 2; !used.insert(name).second; ++n) {
+            name = base + "_" + std::to_string(n);
+        }
+        return dir + "/" + name + ".csv";
+    };
+
+    const bool serving = !results.empty() && results.front().is_serving();
     for (const auto& r : results) {
-        const auto path = dir + "/" + sanitize(stem) + "_" + sanitize(r.arm) + ".csv";
-        r.trace.write_csv(path);
+        const auto path = unique_path(sanitize(stem) + "_" + sanitize(r.arm));
+        std::size_t rows = 0;
+        if (r.serving_trace) {
+            r.serving_trace->write_csv(path);
+            rows = r.serving_trace->size();
+        } else {
+            r.trace.write_csv(path);
+            rows = r.trace.size();
+        }
         if (announce) {
-            std::printf("[csv] wrote %s (%zu rows)\n", path.c_str(), r.trace.size());
+            std::fprintf(stderr, "[csv] wrote %s (%zu rows)\n", path.c_str(), rows);
         }
     }
+
+    // Episode-summary table: the one place scenario and arm names land
+    // *inside* a CSV, so quoting matters (CsvWriter applies RFC 4180).
+    const auto summary_path = dir + "/" + sanitize(stem) + "_summary.csv";
+    if (serving) {
+        util::CsvWriter csv(summary_path,
+                            {"scenario", "arm", "stream", "requests", "served", "shed",
+                             "missed", "p50_ms", "p95_ms", "p99_ms", "mean_wait_ms",
+                             "miss_rate", "shed_rate", "throughput_rps",
+                             "energy_per_req_j", "peak_device_temp_c"});
+        for (const auto& r : results) {
+            if (!r.serving_trace) continue;
+            for (const auto& s : r.serving_trace->all_summaries()) {
+                csv.row(std::vector<std::string>{
+                    r.scenario,
+                    r.arm,
+                    s.stream,
+                    std::to_string(s.requests),
+                    std::to_string(s.served),
+                    std::to_string(s.shed),
+                    std::to_string(s.missed),
+                    util::format_double(s.p50_ms, 3),
+                    util::format_double(s.p95_ms, 3),
+                    util::format_double(s.p99_ms, 3),
+                    util::format_double(s.mean_wait_ms, 3),
+                    util::format_double(s.miss_rate, 4),
+                    util::format_double(s.shed_rate, 4),
+                    util::format_double(s.throughput_rps, 4),
+                    util::format_double(s.energy_per_req_j, 3),
+                    util::format_double(s.peak_device_temp_c, 2),
+                });
+            }
+        }
+    } else {
+        util::CsvWriter csv(summary_path,
+                            {"scenario", "arm", "frames", "mean_latency_ms",
+                             "std_latency_ms", "satisfaction_rate", "mean_device_temp_c",
+                             "max_device_temp_c", "mean_power_w", "throttled_fraction"});
+        for (const auto& r : results) {
+            const auto s = r.trace.summary();
+            csv.row(std::vector<std::string>{
+                r.scenario,
+                r.arm,
+                std::to_string(s.frames),
+                util::format_double(s.mean_latency_s * 1e3, 3),
+                util::format_double(s.std_latency_s * 1e3, 3),
+                util::format_double(s.satisfaction_rate, 4),
+                util::format_double(s.mean_device_temp, 2),
+                util::format_double(s.max_device_temp, 2),
+                util::format_double(s.mean_power_w, 3),
+                util::format_double(s.throttled_fraction, 4),
+            });
+        }
+    }
+    if (announce) std::fprintf(stderr, "[csv] wrote %s\n", summary_path.c_str());
+}
+
+std::string scenario_json(const Scenario& scenario,
+                          const std::vector<EpisodeResult>& results) {
+    std::string o = "{";
+    o += "\"scenario\":" + jstr(scenario.name);
+    o += ",\"title\":" + jstr(scenario.title);
+    o += ",\"mode\":" + jstr(scenario.is_serving() ? "serving" : "experiment");
+    o += ",\"episodes\":[";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& r = results[i];
+        if (i != 0) o += ",";
+        o += "{\"arm\":" + jstr(r.arm);
+        // uint64 seeds exceed JSON's exact-integer range; emit as a string.
+        o += ",\"episode_seed\":" + jstr(std::to_string(r.episode_seed));
+        if (r.serving_trace) {
+            o += ",\"scheduler\":" +
+                 jstr(r.serving_config ? r.serving_config->scheduler : "");
+            o += ",\"makespan_s\":" + jnum(r.serving_trace->makespan_s());
+            o += ",\"total_energy_j\":" + jnum(r.serving_trace->total_energy_j());
+            o += ",\"max_queue_depth\":" +
+                 std::to_string(r.serving_trace->max_queue_depth());
+            o += ",\"aggregate\":" + serving_summary_json(r.serving_trace->aggregate());
+            o += ",\"streams\":[";
+            const auto names = r.serving_trace->stream_names();
+            for (std::size_t s = 0; s < names.size(); ++s) {
+                if (s != 0) o += ",";
+                o += serving_summary_json(r.serving_trace->stream_summary(s));
+            }
+            o += "]";
+        } else {
+            o += ",\"summary\":" + experiment_summary_json(r.trace.summary());
+            if (r.paper) {
+                o += ",\"paper\":{\"mean_ms\":" + jnum(r.paper->mean_ms);
+                o += ",\"std_ms\":" + jnum(r.paper->std_ms);
+                o += ",\"satisfaction\":" + jnum(r.paper->satisfaction) + "}";
+            }
+        }
+        o += "}";
+    }
+    o += "]}";
+    return o;
+}
+
+void JsonSink::consume(const Scenario& scenario,
+                       const std::vector<EpisodeResult>& results) {
+    std::printf("%s\n", scenario_json(scenario, results).c_str());
 }
 
 } // namespace lotus::harness

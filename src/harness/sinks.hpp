@@ -4,9 +4,12 @@
 // A ResultSink consumes the ordered EpisodeResults of one scenario and
 // renders them somewhere: the paper-style summary table, the paper-style
 // ASCII figure (temperature + latency traces with the throttling bound /
-// latency constraint reference lines), or raw per-episode CSV files. Front
-// ends compose the sinks they want; the free functions underneath are
-// available for custom headings.
+// latency constraint reference lines), raw per-episode CSV files, or
+// machine-readable JSON (one document per scenario). Every sink understands
+// both episode kinds -- classic experiment traces and serving ledgers -- so
+// front ends compose sinks without caring which registry half a scenario
+// came from; the free functions underneath are available for custom
+// headings.
 
 #include <string>
 #include <vector>
@@ -27,20 +30,40 @@ public:
 void print_summary_table(const std::string& heading,
                          const std::vector<EpisodeResult>& results);
 
+/// Serving-style quantitative table: per arm, an aggregate row plus one row
+/// per stream -- served/shed counts, p50/p95/p99 end-to-end latency,
+/// deadline-miss and shed rates, throughput, energy/request, peak temp.
+void print_serving_table(const std::string& heading,
+                         const std::vector<EpisodeResult>& results);
+
 /// Paper-style figure: device-temperature chart (with the throttling bound)
-/// stacked above a latency chart (with the constraint), one series per
-/// episode. Bounds are derived from the episode configs.
+/// stacked above a latency chart (with the constraint / max SLO), one series
+/// per episode. Serving episodes chart end-to-end latency per request.
 void print_figure(const std::string& title, const std::vector<EpisodeResult>& results);
 
-/// Write one CSV per episode: <dir>/<stem>_<arm>.csv.
+/// Write one CSV per episode -- <dir>/<stem>_<arm>.csv (collision-proofed
+/// when two arms sanitize to the same file name) -- plus a
+/// <dir>/<stem>_summary.csv with one row per episode. All fields pass
+/// through RFC 4180 quoting, so scenario/arm names containing commas or
+/// quotes survive a round trip.
 void write_csv_traces(const std::string& dir, const std::string& stem,
                       const std::vector<EpisodeResult>& results, bool announce = true);
+
+/// One JSON document for the scenario: episode summaries (experiment or
+/// serving metrics, paper reference rows when present), compact single-line
+/// form suitable for JSONL processing.
+[[nodiscard]] std::string scenario_json(const Scenario& scenario,
+                                        const std::vector<EpisodeResult>& results);
 
 class SummaryTableSink final : public ResultSink {
 public:
     void consume(const Scenario& scenario,
                  const std::vector<EpisodeResult>& results) override {
-        print_summary_table(scenario.title, results);
+        if (scenario.is_serving()) {
+            print_serving_table(scenario.title, results);
+        } else {
+            print_summary_table(scenario.title, results);
+        }
     }
 };
 
@@ -63,6 +86,13 @@ public:
 
 private:
     std::string dir_;
+};
+
+/// Prints one JSON document per consumed scenario to stdout.
+class JsonSink final : public ResultSink {
+public:
+    void consume(const Scenario& scenario,
+                 const std::vector<EpisodeResult>& results) override;
 };
 
 } // namespace lotus::harness

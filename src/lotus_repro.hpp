@@ -61,6 +61,14 @@
 #include "runtime/runner.hpp"
 #include "runtime/trace.hpp"
 
+// Serving runtime: multi-stream request queues over one device
+#include "serving/arrivals.hpp"
+#include "serving/engine.hpp"
+#include "serving/queue.hpp"
+#include "serving/request.hpp"
+#include "serving/scheduler.hpp"
+#include "serving/trace.hpp"
+
 // Experiment harness: scenario catalog + parallel episode execution
 #include "harness/harness.hpp"
 #include "harness/registry.hpp"

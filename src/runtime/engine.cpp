@@ -26,10 +26,11 @@ void InferenceEngine::reset() {
 
 governors::Observation InferenceEngine::make_observation(std::size_t iteration,
                                                          double constraint_s,
-                                                         double elapsed_s,
-                                                         int proposals) const {
+                                                         double elapsed_s, int proposals,
+                                                         double queue_wait_s) const {
     governors::Observation obs;
     obs.iteration = iteration;
+    obs.queue_wait_s = queue_wait_s;
     obs.now_s = device_.now();
     obs.cpu_temp = device_.cpu_temp();
     obs.gpu_temp = device_.gpu_temp();
@@ -113,17 +114,34 @@ void InferenceEngine::execute_gpu_work(double ops, double bytes,
     }
 }
 
+void InferenceEngine::run_idle(double duration_s, governors::Governor& governor) {
+    if (duration_s < 0.0) {
+        throw std::invalid_argument("run_idle: negative duration");
+    }
+    double remaining = duration_s;
+    while (remaining > 0.0) {
+        const double h = std::min(remaining, cfg_.max_slice_s);
+        advance_slice(h, cfg_.idle_cpu_util, 0.0, governor);
+        remaining -= h;
+    }
+}
+
 FrameResult InferenceEngine::run_frame(const detector::DetectorModel& model,
                                        const workload::FrameSample& frame,
                                        governors::Governor& governor,
-                                       double latency_constraint_s, std::size_t iteration) {
+                                       double latency_constraint_s, std::size_t iteration,
+                                       double queue_wait_s) {
     if (latency_constraint_s <= 0.0) {
         throw std::invalid_argument("run_frame: latency constraint must be > 0");
+    }
+    if (queue_wait_s < 0.0) {
+        throw std::invalid_argument("run_frame: negative queue wait");
     }
 
     FrameResult result;
     result.iteration = iteration;
     result.start_time_s = device_.now();
+    result.queue_wait_s = queue_wait_s;
     result.constraint_s = latency_constraint_s;
     result.proposals_raw = frame.proposals;
     frame_saw_throttle_ = device_.throttled();
@@ -132,7 +150,8 @@ FrameResult InferenceEngine::run_frame(const detector::DetectorModel& model,
     const double e0 = device_.energy_joules();
 
     // --- decision 1: frame start (s_2i) ------------------------------------
-    const auto obs_start = make_observation(iteration, latency_constraint_s, 0.0, -1);
+    const auto obs_start = make_observation(iteration, latency_constraint_s, queue_wait_s,
+                                            -1, queue_wait_s);
     const auto req_start = governor.on_frame_start(obs_start);
     charge_decision_overhead(governor);
     apply(req_start);
@@ -152,8 +171,10 @@ FrameResult InferenceEngine::run_frame(const detector::DetectorModel& model,
     const int proposals_used = model.clamp_proposals(frame.proposals);
     result.proposals_used = proposals_used;
     if (model.is_two_stage()) {
-        const auto obs_rpn = make_observation(iteration, latency_constraint_s,
-                                              device_.now() - t0, proposals_used);
+        const auto obs_rpn =
+            make_observation(iteration, latency_constraint_s,
+                             queue_wait_s + (device_.now() - t0), proposals_used,
+                             queue_wait_s);
         const auto req_rpn = governor.on_post_rpn(obs_rpn);
         charge_decision_overhead(governor);
         apply(req_rpn);
@@ -177,7 +198,8 @@ FrameResult InferenceEngine::run_frame(const detector::DetectorModel& model,
 
     governors::FrameOutcome outcome;
     outcome.iteration = iteration;
-    outcome.latency_s = result.latency_s;
+    outcome.latency_s = result.e2e_latency_s();
+    outcome.queue_wait_s = queue_wait_s;
     outcome.stage1_latency_s = result.stage1_s;
     outcome.stage2_latency_s = result.stage2_s;
     outcome.proposals = proposals_used;
@@ -188,7 +210,7 @@ FrameResult InferenceEngine::run_frame(const detector::DetectorModel& model,
     outcome.energy_j = result.energy_j;
     governor.on_frame_end(outcome);
 
-    last_latency_ = result.latency_s;
+    last_latency_ = result.e2e_latency_s();
     return result;
 }
 

@@ -31,6 +31,10 @@ struct EngineConfig {
 struct FrameResult {
     std::size_t iteration = 0;
     double start_time_s = 0.0;
+    /// Queueing delay charged to this frame before execution began (serving
+    /// runtime); 0 for the classic one-frame-at-a-time experiment loop.
+    double queue_wait_s = 0.0;
+    /// Device-side execution latency (stage1 + stage2 + decision overhead).
     double latency_s = 0.0;
     double stage1_s = 0.0;
     double stage2_s = 0.0;
@@ -45,6 +49,10 @@ struct FrameResult {
     double energy_j = 0.0;
     bool throttled = false;
     double constraint_s = 0.0;
+
+    /// Queue wait + execution: what a client (and the governor's reward)
+    /// experiences end to end.
+    [[nodiscard]] double e2e_latency_s() const noexcept { return queue_wait_s + latency_s; }
 };
 
 class InferenceEngine {
@@ -52,9 +60,21 @@ public:
     InferenceEngine(platform::EdgeDevice& device, EngineConfig config = {});
 
     /// Execute one frame under the given governor and latency constraint.
+    /// `queue_wait_s` is delay already suffered before execution (serving
+    /// queues): it counts against the constraint in the governor's
+    /// observations (elapsed time) and reward (end-to-end latency), exactly
+    /// as a deadline-bound client would account it.
     FrameResult run_frame(const detector::DetectorModel& model,
                           const workload::FrameSample& frame, governors::Governor& governor,
-                          double latency_constraint_s, std::size_t iteration);
+                          double latency_constraint_s, std::size_t iteration,
+                          double queue_wait_s = 0.0);
+
+    /// Advance the device through an idle gap (no request to serve): the CPU
+    /// idles, the GPU is off, temperatures decay and timer-driven governors
+    /// keep receiving their kernel ticks -- idle periods are when a heat-
+    /// soaked device recovers headroom, so they must be simulated, not
+    /// skipped.
+    void run_idle(double duration_s, governors::Governor& governor);
 
     /// Forget cross-frame state (last latency, tick phase); used between the
     /// pre-training and measured phases of an experiment.
@@ -66,8 +86,8 @@ public:
 private:
     [[nodiscard]] governors::Observation make_observation(std::size_t iteration,
                                                           double constraint_s,
-                                                          double elapsed_s,
-                                                          int proposals) const;
+                                                          double elapsed_s, int proposals,
+                                                          double queue_wait_s) const;
     void apply(const governors::LevelRequest& request);
     void charge_decision_overhead(governors::Governor& governor);
     /// Advance device by h while tracking ticks and the throttle flag.

@@ -108,6 +108,7 @@ ExperimentConfig static_experiment(platform::DeviceSpec device_spec,
         .pretrain_iterations = pretrain_iterations,
         .seed = seed,
         .engine = {},
+        .frame_hook = nullptr,
     };
     return cfg;
 }

@@ -1,0 +1,148 @@
+#include "serving/arrivals.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace lotus::serving {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Exponential inter-arrival with mean 1/rate.
+double exp_gap(util::Rng& rng, double rate_hz) {
+    // 1 - uniform() is in (0, 1], so the log is finite.
+    return -std::log(1.0 - rng.uniform()) / rate_hz;
+}
+
+std::vector<double> periodic(const ArrivalSpec& spec, std::size_t count) {
+    std::vector<double> out;
+    out.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+        out.push_back(spec.phase_s + static_cast<double>(k) / spec.rate_hz);
+    }
+    return out;
+}
+
+std::vector<double> poisson(const ArrivalSpec& spec, std::size_t count, util::Rng& rng) {
+    std::vector<double> out;
+    out.reserve(count);
+    double t = spec.phase_s;
+    for (std::size_t k = 0; k < count; ++k) {
+        t += exp_gap(rng, spec.rate_hz);
+        out.push_back(t);
+    }
+    return out;
+}
+
+/// Volleys of `burst` requests `burst_spread_s` apart; volley starts spaced
+/// so the mean rate stays rate_hz. +-25% jitter on the inter-volley gap
+/// keeps volleys from phase-locking across streams.
+std::vector<double> bursty(const ArrivalSpec& spec, std::size_t count, util::Rng& rng) {
+    std::vector<double> out;
+    out.reserve(count);
+    const double volley_period = static_cast<double>(spec.burst) / spec.rate_hz;
+    double volley_start = spec.phase_s;
+    while (out.size() < count) {
+        for (std::size_t j = 0; j < spec.burst && out.size() < count; ++j) {
+            out.push_back(volley_start + static_cast<double>(j) * spec.burst_spread_s);
+        }
+        volley_start += volley_period * rng.uniform(0.75, 1.25);
+    }
+    return out;
+}
+
+/// Non-homogeneous Poisson with a raised-cosine rate profile over the run:
+/// trough -> peak -> trough, scaled so the mean rate over the cycle is
+/// rate_hz. The cycle length is the expected span of `count` requests.
+std::vector<double> diurnal(const ArrivalSpec& spec, std::size_t count, util::Rng& rng) {
+    std::vector<double> out;
+    out.reserve(count);
+    const double span = static_cast<double>(count) / spec.rate_hz;
+    const double floor = spec.diurnal_floor;
+    // profile(t) in [floor, 2 - floor]; mean over the cycle is 1.
+    const auto profile = [&](double t) {
+        const double s = 0.5 * (1.0 - std::cos(2.0 * kPi * t / span));
+        return floor + 2.0 * (1.0 - floor) * s;
+    };
+    double t = spec.phase_s;
+    for (std::size_t k = 0; k < count; ++k) {
+        const double inst_rate = spec.rate_hz * profile(t - spec.phase_s);
+        t += exp_gap(rng, inst_rate);
+        out.push_back(t);
+    }
+    return out;
+}
+
+/// Adversarial duty cycle: a quiet phase long enough for the device to shed
+/// heat and the queue to drain, then a dense volley at 4x the volley
+/// tightness of `bursty`. Quiet length jitters +-30% so the pattern cannot
+/// be learned as a fixed period.
+std::vector<double> attack(const ArrivalSpec& spec, std::size_t count, util::Rng& rng) {
+    std::vector<double> out;
+    out.reserve(count);
+    const double cycle = static_cast<double>(spec.burst) / spec.rate_hz;
+    const double spread = spec.burst_spread_s * 0.25;
+    double volley_start = spec.phase_s + cycle * rng.uniform(0.7, 1.3);
+    while (out.size() < count) {
+        for (std::size_t j = 0; j < spec.burst && out.size() < count; ++j) {
+            out.push_back(volley_start + static_cast<double>(j) * spread);
+        }
+        volley_start += cycle * rng.uniform(0.7, 1.3);
+    }
+    return out;
+}
+
+} // namespace
+
+const char* to_string(ArrivalKind kind) noexcept {
+    switch (kind) {
+        case ArrivalKind::periodic: return "periodic";
+        case ArrivalKind::poisson: return "poisson";
+        case ArrivalKind::bursty: return "burst";
+        case ArrivalKind::diurnal: return "diurnal";
+        case ArrivalKind::attack: return "attack";
+    }
+    return "?";
+}
+
+ArrivalKind arrival_kind_from(const std::string& name) {
+    if (name == "periodic") return ArrivalKind::periodic;
+    if (name == "poisson") return ArrivalKind::poisson;
+    if (name == "burst" || name == "bursty") return ArrivalKind::bursty;
+    if (name == "diurnal") return ArrivalKind::diurnal;
+    if (name == "attack") return ArrivalKind::attack;
+    throw std::invalid_argument("unknown arrival process '" + name +
+                                "' (periodic|poisson|burst|diurnal|attack)");
+}
+
+std::vector<double> generate_arrivals(const ArrivalSpec& spec, std::size_t count,
+                                      std::uint64_t seed) {
+    if (spec.rate_hz <= 0.0) {
+        throw std::invalid_argument("generate_arrivals: rate_hz must be > 0");
+    }
+    if (spec.burst == 0) {
+        throw std::invalid_argument("generate_arrivals: burst must be >= 1");
+    }
+    if (spec.burst_spread_s < 0.0 || spec.phase_s < 0.0) {
+        throw std::invalid_argument("generate_arrivals: negative spacing/phase");
+    }
+    if (!(spec.diurnal_floor > 0.0) || spec.diurnal_floor > 1.0) {
+        throw std::invalid_argument("generate_arrivals: diurnal_floor must be in (0, 1]");
+    }
+    if (count == 0) return {};
+
+    util::Rng rng(seed);
+    switch (spec.kind) {
+        case ArrivalKind::periodic: return periodic(spec, count);
+        case ArrivalKind::poisson: return poisson(spec, count, rng);
+        case ArrivalKind::bursty: return bursty(spec, count, rng);
+        case ArrivalKind::diurnal: return diurnal(spec, count, rng);
+        case ArrivalKind::attack: return attack(spec, count, rng);
+    }
+    throw std::invalid_argument("generate_arrivals: unhandled arrival kind");
+}
+
+} // namespace lotus::serving

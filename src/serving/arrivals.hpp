@@ -1,0 +1,57 @@
+#pragma once
+// Arrival processes for serving streams.
+//
+// The paper evaluates LOTUS at a steady one-frame-at-a-time cadence; a
+// serving system sees anything but. Five pluggable processes cover the load
+// shapes that matter for a thermally constrained device:
+//
+//  * periodic -- a fixed-rate camera (the paper's implicit model);
+//  * poisson  -- memoryless client traffic (M/D/1-style queueing);
+//  * bursty   -- volleys of back-to-back requests separated by gaps, mean
+//                rate preserved (motion-triggered cameras, batched uploads);
+//  * diurnal  -- a non-homogeneous Poisson ramp (trough -> peak -> trough),
+//                the day/night cycle compressed into one run;
+//  * attack   -- adversarial duty cycle: long quiet phases that let the
+//                device cool and the governor relax, then dense volleys
+//                timed to land on a cold queue ("Can't Slow me Down"-style
+//                latency attacks).
+//
+// All processes are pure functions of (spec, count, seed): parallel harness
+// episodes replaying the same stream get byte-identical arrival times.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lotus::serving {
+
+enum class ArrivalKind { periodic, poisson, bursty, diurnal, attack };
+
+[[nodiscard]] const char* to_string(ArrivalKind kind) noexcept;
+
+/// Parse a CLI-style name ("periodic", "poisson", "burst"/"bursty",
+/// "diurnal", "attack"); throws std::invalid_argument on anything else.
+[[nodiscard]] ArrivalKind arrival_kind_from(const std::string& name);
+
+struct ArrivalSpec {
+    ArrivalKind kind = ArrivalKind::poisson;
+    /// Mean request rate [Hz]; all processes preserve it over the run.
+    double rate_hz = 1.0;
+    /// Offset of the first arrival [s] (staggers otherwise identical streams).
+    double phase_s = 0.0;
+    /// Requests per volley (bursty/attack).
+    std::size_t burst = 8;
+    /// Spacing between requests inside a volley [s] (bursty/attack).
+    double burst_spread_s = 0.05;
+    /// Trough rate as a fraction of the peak rate (diurnal).
+    double diurnal_floor = 0.2;
+};
+
+/// Generate `count` ascending arrival times. Deterministic in (spec, count,
+/// seed). Throws std::invalid_argument for non-positive rates or zero burst
+/// sizes.
+[[nodiscard]] std::vector<double> generate_arrivals(const ArrivalSpec& spec,
+                                                    std::size_t count, std::uint64_t seed);
+
+} // namespace lotus::serving

@@ -1,0 +1,179 @@
+#include "serving/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "runtime/engine.hpp"
+#include "serving/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace lotus::serving {
+
+namespace {
+
+/// EWMA weight of the newest service-time sample in the scheduler's
+/// expected-service estimate.
+constexpr double kServiceEwma = 0.3;
+
+/// Tolerance when comparing simulated clock against arrival times: the idle
+/// integrator sums slices, so the clock can land a few ulps short of the
+/// arrival it targeted. Guarantees the event loop always makes progress.
+constexpr double kTimeEps = 1e-9;
+
+} // namespace
+
+ServingEngine::ServingEngine(ServingConfig config) : config_(std::move(config)) {
+    if (config_.streams.empty()) {
+        throw std::invalid_argument("ServingEngine: no streams configured");
+    }
+    for (const auto& s : config_.streams) {
+        if (s.requests == 0) {
+            throw std::invalid_argument("ServingEngine: stream '" + s.name +
+                                        "' emits zero requests");
+        }
+        if (s.slo_s <= 0.0) {
+            throw std::invalid_argument("ServingEngine: stream '" + s.name +
+                                        "' has a non-positive SLO");
+        }
+        (void)workload::dataset_by_name(s.dataset); // throws on unknown dataset
+    }
+    (void)make_scheduler(config_.scheduler); // throws on unknown policy
+}
+
+std::vector<Request> ServingEngine::build_requests() const {
+    std::vector<Request> all;
+    for (std::size_t s = 0; s < config_.streams.size(); ++s) {
+        const auto& stream = config_.streams[s];
+        const auto arrivals =
+            generate_arrivals(stream.arrival, stream.requests,
+                              util::derive_seed(config_.seed, "arrivals/" + stream.name, s));
+        workload::FrameStream frames(
+            workload::dataset_by_name(stream.dataset),
+            util::derive_seed(config_.seed, "frames/" + stream.name, s));
+        for (std::size_t k = 0; k < stream.requests; ++k) {
+            Request r;
+            r.stream = s;
+            r.arrival_s = arrivals[k];
+            r.slo_s = stream.slo_s;
+            r.frame = frames.next();
+            all.push_back(std::move(r));
+        }
+    }
+    // Merge the per-stream timelines; ids are global arrival order so every
+    // scheduler tie-break is a pure function of the timeline.
+    std::sort(all.begin(), all.end(), [](const Request& a, const Request& b) {
+        if (a.arrival_s != b.arrival_s) return a.arrival_s < b.arrival_s;
+        if (a.stream != b.stream) return a.stream < b.stream;
+        return a.frame.index < b.frame.index;
+    });
+    for (std::size_t i = 0; i < all.size(); ++i) all[i].id = i;
+    return all;
+}
+
+ServingTrace ServingEngine::run(governors::Governor& governor) const {
+    platform::EdgeDevice device(config_.device_spec);
+    device.set_ambient(config_.ambient_celsius);
+    runtime::InferenceEngine engine(device, config_.engine);
+    const auto model = detector::make_detector(config_.detector);
+    auto scheduler = make_scheduler(config_.scheduler);
+
+    // --- pre-training phase (not recorded; mirrors ExperimentRunner) --------
+    if (config_.pretrain_iterations > 0) {
+        const auto& warm = config_.streams.front();
+        const double constraint = config_.pretrain_constraint_s > 0.0
+                                      ? config_.pretrain_constraint_s
+                                      : warm.slo_s;
+        workload::FrameStream stream(
+            workload::dataset_by_name(warm.dataset),
+            util::derive_seed(config_.seed, "pretrain/" + warm.dataset, 0));
+        for (std::size_t i = 0; i < config_.pretrain_iterations; ++i) {
+            engine.run_frame(model, stream.next(), governor, constraint, i);
+        }
+        device.reset();
+        engine.reset();
+    }
+
+    const auto requests = build_requests();
+    std::vector<std::string> names;
+    names.reserve(config_.streams.size());
+    for (const auto& s : config_.streams) names.push_back(s.name);
+
+    ServingTrace trace(std::move(names));
+    trace.reserve(requests.size());
+    RequestQueue queue;
+    std::size_t next_arrival = 0;
+    std::size_t iteration = 0;
+    double expected_service = 0.0;
+
+    const auto record_shed = [&](Request&& r, double now) {
+        ServingRecord row;
+        row.request_id = r.id;
+        row.stream = r.stream;
+        row.arrival_s = r.arrival_s;
+        row.start_s = now;
+        row.queue_wait_s = std::max(0.0, now - r.arrival_s);
+        row.e2e_s = row.queue_wait_s;
+        row.slo_s = r.slo_s;
+        row.shed = true;
+        row.missed = true;
+        row.proposals = r.frame.proposals;
+        row.cpu_temp = device.cpu_temp();
+        row.gpu_temp = device.gpu_temp();
+        trace.add(std::move(row));
+    };
+
+    while (next_arrival < requests.size() || !queue.empty()) {
+        const double now = device.now();
+        while (next_arrival < requests.size() &&
+               requests[next_arrival].arrival_s <= now + kTimeEps) {
+            queue.push(requests[next_arrival++]);
+        }
+        if (queue.empty()) {
+            // Device is free but no request is pending: idle (and cool)
+            // until the next arrival.
+            engine.run_idle(std::max(requests[next_arrival].arrival_s - now, kTimeEps),
+                            governor);
+            continue;
+        }
+
+        auto decision = scheduler->pick(queue, now, expected_service);
+        for (auto& r : decision.shed) record_shed(std::move(r), now);
+        if (!decision.next) continue;
+
+        Request req = std::move(*decision.next);
+        // Admission tolerates kTimeEps of clock shortfall; never report a
+        // negative wait for a request taken the instant it arrived.
+        const double wait = std::max(0.0, now - req.arrival_s);
+        const auto result =
+            engine.run_frame(model, req.frame, governor, req.slo_s, iteration++, wait);
+
+        ServingRecord row;
+        row.request_id = req.id;
+        row.stream = req.stream;
+        row.arrival_s = req.arrival_s;
+        row.start_s = result.start_time_s;
+        row.queue_wait_s = wait;
+        row.service_s = result.latency_s;
+        row.e2e_s = result.e2e_latency_s();
+        row.slo_s = req.slo_s;
+        row.missed = row.e2e_s > req.slo_s;
+        row.throttled = result.throttled;
+        row.proposals = result.proposals_used;
+        row.cpu_temp = result.cpu_temp;
+        row.gpu_temp = result.gpu_temp;
+        row.energy_j = result.energy_j;
+        trace.add(std::move(row));
+
+        expected_service = expected_service <= 0.0
+                               ? result.latency_s
+                               : (1.0 - kServiceEwma) * expected_service +
+                                     kServiceEwma * result.latency_s;
+    }
+
+    trace.set_makespan(device.now());
+    trace.set_total_energy(device.energy_joules());
+    trace.set_max_queue_depth(queue.max_depth());
+    return trace;
+}
+
+} // namespace lotus::serving

@@ -1,0 +1,49 @@
+#pragma once
+// ServingEngine: multiplexes N request streams onto one simulated device.
+//
+// The serving analogue of runtime::ExperimentRunner. One run materialises
+// every stream's arrival times and frame samples up front (pure functions of
+// the config seed), then replays the merged request timeline against a
+// single EdgeDevice + InferenceEngine under the chosen scheduling policy:
+//
+//  * the device is the shared resource -- thermal state carries across
+//    interleaved streams, so a burst on stream 3 heats the silicon that
+//    stream 0's next frame runs on;
+//  * queue wait counts against each request's deadline: the governor's
+//    observations and reward see *end-to-end* (queue + inference) latency,
+//    so a learning governor experiences queueing pressure as deadline
+//    pressure (InferenceEngine::run_frame's queue_wait_s plumbing);
+//  * idle gaps are simulated, not skipped -- they are when the device cools
+//    and timer-driven governors keep ticking;
+//  * shed requests (admission control) count as SLO violations.
+//
+// run() is const and reentrant: every call builds its own device, engine,
+// streams and scheduler, so harness episodes execute from concurrent
+// threads, one governor per thread, byte-identically to a serial run.
+
+#include "governors/governor.hpp"
+#include "serving/request.hpp"
+#include "serving/trace.hpp"
+
+namespace lotus::serving {
+
+class ServingEngine {
+public:
+    /// Validates the config (throws std::invalid_argument on empty streams,
+    /// non-positive SLOs/rates, unknown datasets or schedulers).
+    explicit ServingEngine(ServingConfig config);
+
+    /// Serve every stream's requests to completion under the governor.
+    [[nodiscard]] ServingTrace run(governors::Governor& governor) const;
+
+    /// The merged, arrival-ordered request timeline this config generates
+    /// (exposed for tests and load inspection).
+    [[nodiscard]] std::vector<Request> build_requests() const;
+
+    [[nodiscard]] const ServingConfig& config() const noexcept { return config_; }
+
+private:
+    ServingConfig config_;
+};
+
+} // namespace lotus::serving

@@ -1,0 +1,22 @@
+#include "serving/queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lotus::serving {
+
+void RequestQueue::push(Request request) {
+    pending_.push_back(std::move(request));
+    max_depth_ = std::max(max_depth_, pending_.size());
+}
+
+Request RequestQueue::take(std::size_t index) {
+    if (index >= pending_.size()) {
+        throw std::out_of_range("RequestQueue::take: index out of range");
+    }
+    Request out = std::move(pending_[index]);
+    pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(index));
+    return out;
+}
+
+} // namespace lotus::serving

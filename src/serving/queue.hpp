@@ -1,0 +1,37 @@
+#pragma once
+// RequestQueue: the pending-request pool in front of the shared device.
+//
+// Deliberately a plain inspectable vector rather than a priority heap: the
+// queue stays small (tens of requests even under saturation), every
+// scheduling policy wants a different order, and admission control needs to
+// *remove from the middle* -- a heap would buy nothing and cost the
+// schedulers their full view. Depth statistics are tracked here because the
+// queue is the one place that sees every transition.
+
+#include <cstddef>
+#include <vector>
+
+#include "serving/request.hpp"
+
+namespace lotus::serving {
+
+class RequestQueue {
+public:
+    void push(Request request);
+
+    [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
+    [[nodiscard]] std::size_t size() const noexcept { return pending_.size(); }
+    [[nodiscard]] const std::vector<Request>& pending() const noexcept { return pending_; }
+
+    /// Remove and return the request at `index` (scheduler's choice).
+    Request take(std::size_t index);
+
+    /// Largest depth the queue ever reached (reported per run).
+    [[nodiscard]] std::size_t max_depth() const noexcept { return max_depth_; }
+
+private:
+    std::vector<Request> pending_;
+    std::size_t max_depth_ = 0;
+};
+
+} // namespace lotus::serving

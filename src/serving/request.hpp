@@ -1,0 +1,79 @@
+#pragma once
+// Request model for the multi-stream serving runtime.
+//
+// A Request is one frame submitted by one client stream: it arrives at a
+// point in simulated time, carries the stream's latency SLO as a relative
+// deadline, and waits in a RequestQueue until the scheduler dispatches it to
+// the (single, shared) device. Everything the serving layer accounts --
+// queue wait, shedding, deadline misses -- hangs off this struct.
+//
+// A StreamSpec describes one client stream: which dataset its frames come
+// from (workload intensity), its SLO, how many requests it emits and the
+// arrival process that times them. ServingConfig bundles N streams with the
+// device, detector and scheduler -- the serving analogue of
+// runtime::ExperimentConfig.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "detector/model.hpp"
+#include "platform/device.hpp"
+#include "runtime/engine.hpp"
+#include "serving/arrivals.hpp"
+#include "workload/dataset.hpp"
+
+namespace lotus::serving {
+
+/// One in-flight inference request.
+struct Request {
+    /// Global sequence number in arrival order (ties broken by stream index).
+    std::size_t id = 0;
+    /// Index into ServingConfig::streams.
+    std::size_t stream = 0;
+    double arrival_s = 0.0;
+    /// Relative deadline (the stream's SLO).
+    double slo_s = 0.0;
+    workload::FrameSample frame;
+
+    [[nodiscard]] double deadline_s() const noexcept { return arrival_s + slo_s; }
+};
+
+/// One client stream feeding the serving runtime.
+struct StreamSpec {
+    std::string name;
+    std::string dataset = "KITTI";
+    /// End-to-end latency SLO (relative deadline) per request [s].
+    double slo_s = 0.5;
+    /// Number of requests this stream emits over the run.
+    std::size_t requests = 100;
+    ArrivalSpec arrival;
+};
+
+/// The full serving experiment: N streams multiplexed onto one device.
+/// (Constructed from its DeviceSpec because DeviceSpec has no empty state.)
+struct ServingConfig {
+    explicit ServingConfig(platform::DeviceSpec spec) : device_spec(std::move(spec)) {}
+
+    platform::DeviceSpec device_spec;
+    detector::DetectorKind detector = detector::DetectorKind::faster_rcnn;
+    runtime::EngineConfig engine{};
+    std::vector<StreamSpec> streams;
+    /// Scheduling policy: "fifo", "edf" or "edf_admit" (see make_scheduler).
+    std::string scheduler = "edf";
+    /// Unrecorded warm-up frames for learning governors (stream 0's
+    /// dataset); the device cold-restarts afterwards, the agent keeps its
+    /// learned weights -- mirrors runtime::ExperimentRunner.
+    std::size_t pretrain_iterations = 0;
+    /// Latency constraint used during pre-training [s]; 0 means stream 0's
+    /// SLO. Serving SLOs include queueing headroom, so pre-training against
+    /// them teaches a learning governor to dawdle; scenarios set the
+    /// device-calibrated per-frame constraint instead, which is the service
+    /// pace a saturated queue actually needs.
+    double pretrain_constraint_s = 0.0;
+    std::uint64_t seed = 42;
+    double ambient_celsius = 25.0;
+};
+
+} // namespace lotus::serving

@@ -1,0 +1,91 @@
+#include "serving/scheduler.hpp"
+
+#include <stdexcept>
+
+namespace lotus::serving {
+
+namespace {
+
+/// Index of the pending request with the earliest arrival (ties: lowest id).
+std::size_t fifo_index(const RequestQueue& queue) {
+    const auto& pending = queue.pending();
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < pending.size(); ++i) {
+        const auto& a = pending[i];
+        const auto& b = pending[best];
+        if (a.arrival_s < b.arrival_s || (a.arrival_s == b.arrival_s && a.id < b.id)) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+/// Index of the pending request with the earliest absolute deadline
+/// (ties: earliest arrival, then lowest id).
+std::size_t edf_index(const RequestQueue& queue) {
+    const auto& pending = queue.pending();
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < pending.size(); ++i) {
+        const auto& a = pending[i];
+        const auto& b = pending[best];
+        const double da = a.deadline_s();
+        const double db = b.deadline_s();
+        if (da < db || (da == db && (a.arrival_s < b.arrival_s ||
+                                     (a.arrival_s == b.arrival_s && a.id < b.id)))) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+ScheduleDecision FifoScheduler::pick(RequestQueue& queue, double /*now_s*/,
+                                     double /*expected_service_s*/) {
+    ScheduleDecision d;
+    if (!queue.empty()) d.next = queue.take(fifo_index(queue));
+    return d;
+}
+
+ScheduleDecision EdfScheduler::pick(RequestQueue& queue, double /*now_s*/,
+                                    double /*expected_service_s*/) {
+    ScheduleDecision d;
+    if (!queue.empty()) d.next = queue.take(edf_index(queue));
+    return d;
+}
+
+ScheduleDecision EdfAdmitScheduler::pick(RequestQueue& queue, double now_s,
+                                         double expected_service_s) {
+    ScheduleDecision d;
+    // Shed every request that cannot meet its deadline even if dispatched
+    // immediately. With no service estimate yet, only already-expired
+    // requests are provably infeasible.
+    const double horizon = now_s + (expected_service_s > 0.0 ? expected_service_s : 0.0);
+    for (std::size_t i = 0; i < queue.pending().size();) {
+        if (queue.pending()[i].deadline_s() < horizon) {
+            d.shed.push_back(queue.take(i));
+        } else {
+            ++i;
+        }
+    }
+    if (!queue.empty()) d.next = queue.take(edf_index(queue));
+    return d;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
+    if (name == "fifo") return std::make_unique<FifoScheduler>();
+    if (name == "edf") return std::make_unique<EdfScheduler>();
+    if (name == "edf_admit" || name == "edf-admit") {
+        return std::make_unique<EdfAdmitScheduler>();
+    }
+    std::string known;
+    for (const auto& n : scheduler_names()) known += known.empty() ? n : "|" + n;
+    throw std::invalid_argument("unknown scheduler '" + name + "' (" + known + ")");
+}
+
+const std::vector<std::string>& scheduler_names() {
+    static const std::vector<std::string> names{"fifo", "edf", "edf_admit"};
+    return names;
+}
+
+} // namespace lotus::serving

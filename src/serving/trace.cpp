@@ -1,0 +1,134 @@
+#include "serving/trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace lotus::serving {
+
+ServingTrace::ServingTrace(std::vector<std::string> stream_names)
+    : stream_names_(std::move(stream_names)) {}
+
+void ServingTrace::add(ServingRecord record) {
+    if (record.stream >= stream_names_.size()) {
+        throw std::out_of_range("ServingTrace::add: unknown stream index");
+    }
+    records_.push_back(std::move(record));
+}
+
+ServingSummary ServingTrace::summarize(const std::vector<const ServingRecord*>& rows,
+                                       std::string label) const {
+    ServingSummary s;
+    s.stream = std::move(label);
+    s.requests = rows.size();
+    if (rows.empty()) return s;
+
+    std::vector<double> served_e2e_ms;
+    util::RunningStats wait_ms;
+    util::RunningStats device_temp;
+    double energy = 0.0;
+    for (const auto* r : rows) {
+        const double dev = 0.5 * (r->cpu_temp + r->gpu_temp);
+        device_temp.add(dev);
+        s.peak_device_temp_c = std::max(s.peak_device_temp_c, dev);
+        if (r->shed) {
+            ++s.shed;
+        } else {
+            ++s.served;
+            served_e2e_ms.push_back(r->e2e_s * 1e3);
+            wait_ms.add(r->queue_wait_s * 1e3);
+            energy += r->energy_j;
+        }
+        if (r->missed) ++s.missed;
+    }
+    if (!served_e2e_ms.empty()) {
+        s.p50_ms = util::percentile(served_e2e_ms, 50.0);
+        s.p95_ms = util::percentile(served_e2e_ms, 95.0);
+        s.p99_ms = util::percentile(served_e2e_ms, 99.0);
+    }
+    s.mean_wait_ms = wait_ms.mean();
+    s.miss_rate = static_cast<double>(s.missed) / static_cast<double>(s.requests);
+    s.shed_rate = static_cast<double>(s.shed) / static_cast<double>(s.requests);
+    s.throughput_rps =
+        makespan_s_ > 0.0 ? static_cast<double>(s.served) / makespan_s_ : 0.0;
+    s.energy_per_req_j = s.served > 0 ? energy / static_cast<double>(s.served) : 0.0;
+    s.mean_device_temp_c = device_temp.mean();
+    return s;
+}
+
+ServingSummary ServingTrace::stream_summary(std::size_t stream) const {
+    if (stream >= stream_names_.size()) {
+        throw std::out_of_range("ServingTrace::stream_summary: unknown stream index");
+    }
+    std::vector<const ServingRecord*> rows;
+    for (const auto& r : records_) {
+        if (r.stream == stream) rows.push_back(&r);
+    }
+    return summarize(rows, stream_names_[stream]);
+}
+
+ServingSummary ServingTrace::aggregate() const {
+    std::vector<const ServingRecord*> rows;
+    rows.reserve(records_.size());
+    for (const auto& r : records_) rows.push_back(&r);
+    auto s = summarize(rows, "all");
+    // Charge the whole device energy (idle included) to the served load.
+    if (s.served > 0 && total_energy_j_ > 0.0) {
+        s.energy_per_req_j = total_energy_j_ / static_cast<double>(s.served);
+    }
+    return s;
+}
+
+std::vector<ServingSummary> ServingTrace::all_summaries() const {
+    std::vector<ServingSummary> out;
+    out.reserve(stream_names_.size() + 1);
+    out.push_back(aggregate());
+    for (std::size_t i = 0; i < stream_names_.size(); ++i) {
+        out.push_back(stream_summary(i));
+    }
+    return out;
+}
+
+std::vector<double> ServingTrace::e2e_ms() const {
+    std::vector<double> out;
+    out.reserve(records_.size());
+    for (const auto& r : records_) out.push_back(r.e2e_s * 1e3);
+    return out;
+}
+
+std::vector<double> ServingTrace::device_temps() const {
+    std::vector<double> out;
+    out.reserve(records_.size());
+    for (const auto& r : records_) out.push_back(0.5 * (r.cpu_temp + r.gpu_temp));
+    return out;
+}
+
+void ServingTrace::write_csv(const std::string& path) const {
+    util::CsvWriter csv(path, {"request_id", "stream", "arrival_s", "start_s",
+                               "queue_wait_ms", "service_ms", "e2e_ms", "slo_ms", "shed",
+                               "missed", "throttled", "proposals", "cpu_temp", "gpu_temp",
+                               "energy_j"});
+    for (const auto& r : records_) {
+        csv.row(std::vector<std::string>{
+            std::to_string(r.request_id),
+            stream_names_[r.stream],
+            util::format_double(r.arrival_s, 4),
+            util::format_double(r.start_s, 4),
+            util::format_double(r.queue_wait_s * 1e3, 3),
+            util::format_double(r.service_s * 1e3, 3),
+            util::format_double(r.e2e_s * 1e3, 3),
+            util::format_double(r.slo_s * 1e3, 3),
+            r.shed ? "1" : "0",
+            r.missed ? "1" : "0",
+            r.throttled ? "1" : "0",
+            std::to_string(r.proposals),
+            util::format_double(r.cpu_temp, 3),
+            util::format_double(r.gpu_temp, 3),
+            util::format_double(r.energy_j, 4),
+        });
+    }
+}
+
+} // namespace lotus::serving

@@ -1,0 +1,119 @@
+#pragma once
+// Per-request serving traces and their SLO-centric summaries.
+//
+// The serving analogue of runtime::Trace. Where the experiment trace is a
+// per-iteration latency series, the serving trace is a per-request ledger:
+// when did the request arrive, how long did it queue, was it shed, did it
+// meet its deadline -- per stream and in aggregate. The summaries speak the
+// language of serving systems (p50/p95/p99, miss rate, shed rate,
+// throughput) rather than the paper's (mean, sigma, R_L).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lotus::serving {
+
+/// Ledger entry for one request (served or shed).
+struct ServingRecord {
+    std::size_t request_id = 0;
+    /// Index into the stream-name table of the owning trace.
+    std::size_t stream = 0;
+    double arrival_s = 0.0;
+    /// Dispatch time for served requests; shed time for shed ones.
+    double start_s = 0.0;
+    double queue_wait_s = 0.0;
+    /// Device-side execution latency; 0 for shed requests.
+    double service_s = 0.0;
+    /// End-to-end latency (wait + service); for shed requests, the wait
+    /// accumulated until the drop.
+    double e2e_s = 0.0;
+    double slo_s = 0.0;
+    bool shed = false;
+    /// SLO violated: shed, or served with e2e_s > slo_s.
+    bool missed = false;
+    bool throttled = false;
+    int proposals = 0;
+    double cpu_temp = 0.0; // at completion (or shed time)
+    double gpu_temp = 0.0;
+    double energy_j = 0.0;
+};
+
+/// SLO metrics over one stream (or the aggregate, stream == "all").
+struct ServingSummary {
+    std::string stream;
+    std::size_t requests = 0;
+    std::size_t served = 0;
+    std::size_t shed = 0;
+    std::size_t missed = 0;
+    /// End-to-end latency percentiles over *served* requests [ms].
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    double mean_wait_ms = 0.0;
+    /// missed / requests (shed requests count as misses).
+    double miss_rate = 0.0;
+    double shed_rate = 0.0;
+    /// served / makespan [requests/s].
+    double throughput_rps = 0.0;
+    /// Mean per-served-request energy [J] (execution only for streams; the
+    /// aggregate uses total device energy, idle included).
+    double energy_per_req_j = 0.0;
+    double mean_device_temp_c = 0.0;
+    double peak_device_temp_c = 0.0;
+};
+
+class ServingTrace {
+public:
+    ServingTrace() = default;
+    explicit ServingTrace(std::vector<std::string> stream_names);
+
+    void add(ServingRecord record);
+    void reserve(std::size_t n) { records_.reserve(n); }
+
+    [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+    [[nodiscard]] const ServingRecord& operator[](std::size_t i) const { return records_[i]; }
+    [[nodiscard]] const std::vector<ServingRecord>& records() const noexcept {
+        return records_;
+    }
+    [[nodiscard]] const std::vector<std::string>& stream_names() const noexcept {
+        return stream_names_;
+    }
+
+    /// Wall-clock span of the run [s] / total device energy [J] (idle
+    /// included); set once by the serving engine.
+    void set_makespan(double seconds) noexcept { makespan_s_ = seconds; }
+    [[nodiscard]] double makespan_s() const noexcept { return makespan_s_; }
+    void set_total_energy(double joules) noexcept { total_energy_j_ = joules; }
+    [[nodiscard]] double total_energy_j() const noexcept { return total_energy_j_; }
+    void set_max_queue_depth(std::size_t depth) noexcept { max_queue_depth_ = depth; }
+    [[nodiscard]] std::size_t max_queue_depth() const noexcept { return max_queue_depth_; }
+
+    /// Summary over one stream index.
+    [[nodiscard]] ServingSummary stream_summary(std::size_t stream) const;
+    /// Summary over all requests (stream name "all"; energy-per-request uses
+    /// the total device energy, so idle burn is charged to the workload).
+    [[nodiscard]] ServingSummary aggregate() const;
+    /// Aggregate first, then one summary per stream.
+    [[nodiscard]] std::vector<ServingSummary> all_summaries() const;
+
+    // Column extraction for charts (request order == completion order).
+    [[nodiscard]] std::vector<double> e2e_ms() const;
+    [[nodiscard]] std::vector<double> device_temps() const;
+
+    /// Dump the per-request ledger as CSV.
+    void write_csv(const std::string& path) const;
+
+private:
+    [[nodiscard]] ServingSummary summarize(const std::vector<const ServingRecord*>& rows,
+                                           std::string label) const;
+
+    std::vector<std::string> stream_names_;
+    std::vector<ServingRecord> records_;
+    double makespan_s_ = 0.0;
+    double total_energy_j_ = 0.0;
+    std::size_t max_queue_depth_ = 0;
+};
+
+} // namespace lotus::serving

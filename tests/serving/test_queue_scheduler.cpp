@@ -1,0 +1,142 @@
+// Tests for the RequestQueue and the scheduling policies: selection order,
+// deterministic tie-breaks, admission-control shedding and the factory.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "serving/queue.hpp"
+#include "serving/scheduler.hpp"
+
+namespace lotus::serving {
+namespace {
+
+Request req(std::size_t id, double arrival_s, double slo_s, std::size_t stream = 0) {
+    Request r;
+    r.id = id;
+    r.stream = stream;
+    r.arrival_s = arrival_s;
+    r.slo_s = slo_s;
+    return r;
+}
+
+TEST(RequestQueue, PushTakeAndDepthTracking) {
+    RequestQueue q;
+    EXPECT_TRUE(q.empty());
+    q.push(req(0, 0.0, 1.0));
+    q.push(req(1, 0.5, 1.0));
+    q.push(req(2, 1.0, 1.0));
+    EXPECT_EQ(q.size(), 3u);
+    EXPECT_EQ(q.max_depth(), 3u);
+
+    const auto taken = q.take(1);
+    EXPECT_EQ(taken.id, 1u);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.max_depth(), 3u); // high-water mark survives the take
+    EXPECT_THROW((void)q.take(2), std::out_of_range);
+}
+
+TEST(FifoScheduler, PicksEarliestArrival) {
+    RequestQueue q;
+    q.push(req(2, 3.0, 1.0));
+    q.push(req(0, 1.0, 1.0));
+    q.push(req(1, 2.0, 1.0));
+
+    FifoScheduler fifo;
+    const auto d = fifo.pick(q, 3.0, 0.4);
+    ASSERT_TRUE(d.next.has_value());
+    EXPECT_EQ(d.next->id, 0u);
+    EXPECT_TRUE(d.shed.empty());
+    EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(FifoScheduler, TieBreaksOnId) {
+    RequestQueue q;
+    q.push(req(5, 1.0, 1.0));
+    q.push(req(3, 1.0, 1.0));
+    FifoScheduler fifo;
+    EXPECT_EQ(fifo.pick(q, 1.0, 0.0).next->id, 3u);
+}
+
+TEST(EdfScheduler, PicksEarliestDeadline) {
+    RequestQueue q;
+    q.push(req(0, 0.0, 5.0)); // deadline 5
+    q.push(req(1, 1.0, 1.0)); // deadline 2  <- most urgent
+    q.push(req(2, 0.5, 3.0)); // deadline 3.5
+
+    EdfScheduler edf;
+    const auto d = edf.pick(q, 1.0, 0.4);
+    ASSERT_TRUE(d.next.has_value());
+    EXPECT_EQ(d.next->id, 1u);
+    EXPECT_TRUE(d.shed.empty());
+}
+
+TEST(EdfScheduler, NeverSheds) {
+    RequestQueue q;
+    q.push(req(0, 0.0, 0.1)); // deadline 0.1, hopeless at now=10
+    EdfScheduler edf;
+    const auto d = edf.pick(q, 10.0, 1.0);
+    ASSERT_TRUE(d.next.has_value());
+    EXPECT_EQ(d.next->id, 0u);
+    EXPECT_TRUE(d.shed.empty());
+}
+
+TEST(EdfAdmitScheduler, ShedsExpiredRequests) {
+    RequestQueue q;
+    q.push(req(0, 0.0, 0.5)); // deadline 0.5 < now -> shed
+    q.push(req(1, 0.8, 1.0)); // deadline 1.8 -> feasible
+
+    EdfAdmitScheduler admit;
+    const auto d = admit.pick(q, 1.0, 0.0); // no service estimate yet
+    ASSERT_TRUE(d.next.has_value());
+    EXPECT_EQ(d.next->id, 1u);
+    ASSERT_EQ(d.shed.size(), 1u);
+    EXPECT_EQ(d.shed[0].id, 0u);
+}
+
+TEST(EdfAdmitScheduler, ShedsPredictedMisses) {
+    RequestQueue q;
+    q.push(req(0, 0.0, 1.2)); // deadline 1.2; now+service = 1.4 -> predicted miss
+    q.push(req(1, 0.0, 2.0)); // deadline 2.0 -> feasible
+
+    EdfAdmitScheduler admit;
+    const auto d = admit.pick(q, 1.0, 0.4);
+    ASSERT_TRUE(d.next.has_value());
+    EXPECT_EQ(d.next->id, 1u);
+    ASSERT_EQ(d.shed.size(), 1u);
+    EXPECT_EQ(d.shed[0].id, 0u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EdfAdmitScheduler, CanShedEverything) {
+    RequestQueue q;
+    q.push(req(0, 0.0, 0.1));
+    q.push(req(1, 0.0, 0.2));
+    EdfAdmitScheduler admit;
+    const auto d = admit.pick(q, 5.0, 0.5);
+    EXPECT_FALSE(d.next.has_value());
+    EXPECT_EQ(d.shed.size(), 2u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(SchedulerFactory, BuildsKnownPolicies) {
+    for (const auto& name : scheduler_names()) {
+        const auto s = make_scheduler(name);
+        EXPECT_EQ(s->name(), name);
+    }
+    EXPECT_EQ(make_scheduler("edf-admit")->name(), "edf_admit");
+    EXPECT_THROW((void)make_scheduler("lifo"), std::invalid_argument);
+}
+
+TEST(Schedulers, EmptyQueueYieldsNothing) {
+    RequestQueue q;
+    for (const auto& name : scheduler_names()) {
+        auto s = make_scheduler(name);
+        const auto d = s->pick(q, 1.0, 0.5);
+        EXPECT_FALSE(d.next.has_value()) << name;
+        EXPECT_TRUE(d.shed.empty()) << name;
+    }
+}
+
+} // namespace
+} // namespace lotus::serving

@@ -1,0 +1,174 @@
+#pragma once
+// Shared front-end glue for the CLI tools (lotus_run, lotus_serve).
+//
+// Both tools speak the same dialect -- strict flag validation (unknown
+// flags, enum values and malformed numbers exit 2, no silent fallbacks),
+// the same device/detector/dataset/governor vocabularies -- so the parsing
+// and arm construction live here once.
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lotus_repro.hpp"
+
+namespace lotus::cli {
+
+[[noreturn]] inline void usage_error(const std::string& tool, const std::string& message) {
+    std::fprintf(stderr, "%s: %s\n(see the header of tools/%s.cpp for usage)\n",
+                 tool.c_str(), message.c_str(), tool.c_str());
+    std::exit(2);
+}
+
+inline std::uint64_t parse_u64(const std::string& tool, const std::string& flag,
+                               const std::string& value) {
+    std::uint64_t out = 0;
+    const auto* first = value.data();
+    const auto* last = value.data() + value.size();
+    const auto [ptr, ec] = std::from_chars(first, last, out);
+    if (value.empty() || ec != std::errc{} || ptr != last) {
+        usage_error(tool, flag + " wants a non-negative integer, got '" + value + "'");
+    }
+    return out;
+}
+
+inline double parse_positive_double(const std::string& tool, const std::string& flag,
+                                    const std::string& value) {
+    char* end = nullptr;
+    const double out = std::strtod(value.c_str(), &end);
+    if (value.empty() || end != value.c_str() + value.size() || !(out > 0.0)) {
+        usage_error(tool, flag + " wants a positive number, got '" + value + "'");
+    }
+    return out;
+}
+
+inline platform::DeviceSpec parse_device(const std::string& tool, const std::string& s) {
+    if (s == "orin" || s == "jetson") return platform::orin_nano_spec();
+    if (s == "mi11" || s == "mi-11-lite") return platform::mi11_lite_spec();
+    usage_error(tool, "unknown device " + s);
+}
+
+inline detector::DetectorKind parse_detector(const std::string& tool, const std::string& s) {
+    if (s == "frcnn" || s == "faster_rcnn") return detector::DetectorKind::faster_rcnn;
+    if (s == "mrcnn" || s == "mask_rcnn") return detector::DetectorKind::mask_rcnn;
+    if (s == "yolo" || s == "yolov5") return detector::DetectorKind::yolo_v5;
+    usage_error(tool, "unknown detector " + s);
+}
+
+/// Canonical dataset name ("KITTI" / "VisDrone2019").
+inline std::string parse_dataset(const std::string& tool, const std::string& s) {
+    if (s == "kitti" || s == "KITTI") return "KITTI";
+    if (s == "visdrone" || s == "VisDrone2019") return "VisDrone2019";
+    usage_error(tool, "unknown dataset " + s);
+}
+
+/// Output format for result rendering.
+enum class OutputFormat { table, json };
+
+inline OutputFormat parse_format(const std::string& tool, const std::string& s) {
+    if (s == "table") return OutputFormat::table;
+    if (s == "json") return OutputFormat::json;
+    usage_error(tool, "unknown --format " + s + " (table|json)");
+}
+
+/// What run_scenarios-style rendering needs from either tool's options.
+struct RenderOptions {
+    OutputFormat format = OutputFormat::table;
+    bool chart = false;
+    /// CSV output directory; empty disables the CSV sink.
+    std::string csv_dir;
+};
+
+/// `--format json` promises machine-readable stdout; ASCII charts would
+/// corrupt it (CSV announcements already go to stderr).
+inline void reject_chart_with_json(const std::string& tool, const RenderOptions& opt) {
+    if (opt.chart && opt.format == OutputFormat::json) {
+        usage_error(tool, "--chart writes ASCII to stdout and cannot be combined "
+                          "with --format json");
+    }
+}
+
+/// Slice a harness batch result back per scenario and feed each slice
+/// through the sinks the options select (chart, table-or-json, CSV).
+inline void render_results(const RenderOptions& opt,
+                           const std::vector<const harness::Scenario*>& batch,
+                           std::vector<harness::EpisodeResult> results) {
+    std::vector<std::unique_ptr<harness::ResultSink>> sinks;
+    if (opt.chart) sinks.push_back(std::make_unique<harness::AsciiFigureSink>());
+    if (opt.format == OutputFormat::json) {
+        sinks.push_back(std::make_unique<harness::JsonSink>());
+    } else {
+        sinks.push_back(std::make_unique<harness::SummaryTableSink>());
+    }
+    if (!opt.csv_dir.empty()) {
+        sinks.push_back(std::make_unique<harness::CsvSink>(opt.csv_dir));
+    }
+
+    std::size_t cursor = 0;
+    for (const auto* s : batch) {
+        const std::vector<harness::EpisodeResult> slice(
+            std::make_move_iterator(results.begin() + static_cast<std::ptrdiff_t>(cursor)),
+            std::make_move_iterator(results.begin() +
+                                    static_cast<std::ptrdiff_t>(cursor + s->arms.size())));
+        cursor += s->arms.size();
+        for (const auto& sink : sinks) sink->consume(*s, slice);
+        if (opt.format == OutputFormat::table) std::printf("\n");
+    }
+}
+
+/// The full governor vocabulary both tools accept:
+///   default | ztt | lotus | performance | powersave | random | ondemand
+/// | conservative | fixed:<cpu>,<gpu>
+inline harness::ArmSpec make_governor_arm(const std::string& tool, const std::string& g,
+                                          const platform::DeviceSpec& spec) {
+    if (g == "default") return harness::default_arm(spec);
+    if (g == "ztt") return harness::ztt_arm(spec);
+    if (g == "lotus") return harness::lotus_arm(spec);
+    if (g == "performance") return harness::performance_arm();
+    if (g == "powersave") return harness::powersave_arm();
+
+    const auto simple = [&g](auto factory) {
+        harness::ArmSpec arm;
+        arm.name = g;
+        arm.make = std::move(factory);
+        return arm;
+    };
+    if (g == "ondemand" || g == "conservative") {
+        return simple([g](std::uint64_t) -> std::unique_ptr<governors::Governor> {
+            return std::make_unique<governors::KernelGovernor>(
+                g + "+simple_ondemand",
+                g == "ondemand" ? governors::CpuPolicyKind::ondemand
+                                : governors::CpuPolicyKind::conservative,
+                governors::SimpleOndemandParams{});
+        });
+    }
+    if (g == "random") {
+        return simple([](std::uint64_t seed) -> std::unique_ptr<governors::Governor> {
+            return std::make_unique<governors::RandomGovernor>(seed);
+        });
+    }
+    if (g.rfind("fixed:", 0) == 0) {
+        const auto spec_str = g.substr(6);
+        const auto comma = spec_str.find(',');
+        if (comma == std::string::npos) {
+            usage_error(tool, "malformed --governor '" + g + "': fixed wants fixed:<cpu>,<gpu>");
+        }
+        const auto cpu = static_cast<std::size_t>(
+            parse_u64(tool, "--governor fixed:<cpu>", spec_str.substr(0, comma)));
+        const auto gpu = static_cast<std::size_t>(
+            parse_u64(tool, "--governor fixed:<gpu>", spec_str.substr(comma + 1)));
+        if (cpu >= spec.cpu.opp.num_levels() || gpu >= spec.gpu.opp.num_levels()) {
+            usage_error(tool, "fixed:" + std::to_string(cpu) + "," + std::to_string(gpu) +
+                                  " is outside the device's ladder (" +
+                                  std::to_string(spec.cpu.opp.num_levels()) + " CPU x " +
+                                  std::to_string(spec.gpu.opp.num_levels()) + " GPU levels)");
+        }
+        return harness::fixed_arm(cpu, gpu);
+    }
+    usage_error(tool, "unknown governor " + g);
+}
+
+} // namespace lotus::cli

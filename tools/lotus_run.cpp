@@ -10,6 +10,7 @@
 //      lotus_run --list-scenarios
 //      lotus_run --scenario fig4_kitti --jobs 8
 //      lotus_run --scenario table1_frcnn_kitti --scenario table1_mrcnn_kitti --chart
+//      lotus_run --scenario fig4_kitti --format json
 //
 //  * Single-run mode -- one ad-hoc (device, detector, dataset, governor)
 //    experiment, the "do one run" front end a downstream user reaches for
@@ -32,24 +33,26 @@
 //   --pretrain   N   unrecorded training frames     (default 2500; agents only)
 //   --seed       S   experiment seed                (default 42)
 //   --constraint MS  latency constraint override in milliseconds
+//   --format     table | json                       (default table; json emits
+//                    one machine-readable document per scenario / run)
 //   --csv PATH       single run: trace CSV path; scenario mode: output dir
 //   --chart          render temperature/latency ASCII charts
 //
 // Unknown flags, unknown enum values and malformed numbers are rejected
 // with a nonzero exit -- no silent fallbacks.
 
-#include <charconv>
 #include <cstdio>
-#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "lotus_repro.hpp"
+#include "cli_common.hpp"
 
 using namespace lotus;
 
 namespace {
+
+const std::string kTool = "lotus_run";
 
 struct Options {
     std::string device = "orin";
@@ -61,6 +64,7 @@ struct Options {
     std::uint64_t seed = 42;
     double constraint_ms = 0.0; // 0 -> preset
     std::string csv_path;
+    cli::OutputFormat format = cli::OutputFormat::table;
     bool chart = false;
     bool list_scenarios = false;
     std::vector<std::string> scenarios;
@@ -70,37 +74,14 @@ struct Options {
     std::vector<std::string> single_run_flags;
 };
 
-[[noreturn]] void usage_error(const std::string& message) {
-    std::fprintf(stderr, "lotus_run: %s\n(see the header of tools/lotus_run.cpp for usage)\n",
-                 message.c_str());
-    std::exit(2);
-}
-
-std::uint64_t parse_u64(const std::string& flag, const std::string& value) {
-    std::uint64_t out = 0;
-    const auto* first = value.data();
-    const auto* last = value.data() + value.size();
-    const auto [ptr, ec] = std::from_chars(first, last, out);
-    if (value.empty() || ec != std::errc{} || ptr != last) {
-        usage_error(flag + " wants a non-negative integer, got '" + value + "'");
-    }
-    return out;
-}
-
-double parse_positive_double(const std::string& flag, const std::string& value) {
-    char* end = nullptr;
-    const double out = std::strtod(value.c_str(), &end);
-    if (value.empty() || end != value.c_str() + value.size() || !(out > 0.0)) {
-        usage_error(flag + " wants a positive number, got '" + value + "'");
-    }
-    return out;
-}
-
 Options parse(int argc, char** argv) {
     Options opt;
     const auto need_value = [&](int& i) -> std::string {
-        if (i + 1 >= argc) usage_error(std::string("missing value for ") + argv[i]);
+        if (i + 1 >= argc) cli::usage_error(kTool, std::string("missing value for ") + argv[i]);
         return argv[++i];
+    };
+    const auto u64 = [&](const std::string& flag, const std::string& v) {
+        return cli::parse_u64(kTool, flag, v);
     };
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
@@ -118,14 +99,16 @@ Options parse(int argc, char** argv) {
         } else if (flag == "--governor") {
             opt.governor = need_value(i);
         } else if (flag == "--iterations") {
-            opt.iterations = static_cast<std::size_t>(parse_u64(flag, need_value(i)));
-            if (opt.iterations == 0) usage_error("--iterations must be > 0");
+            opt.iterations = static_cast<std::size_t>(u64(flag, need_value(i)));
+            if (opt.iterations == 0) cli::usage_error(kTool, "--iterations must be > 0");
         } else if (flag == "--pretrain") {
-            opt.pretrain = static_cast<std::size_t>(parse_u64(flag, need_value(i)));
+            opt.pretrain = static_cast<std::size_t>(u64(flag, need_value(i)));
         } else if (flag == "--seed") {
-            opt.seed = parse_u64(flag, need_value(i));
+            opt.seed = u64(flag, need_value(i));
         } else if (flag == "--constraint") {
-            opt.constraint_ms = parse_positive_double(flag, need_value(i));
+            opt.constraint_ms = cli::parse_positive_double(kTool, flag, need_value(i));
+        } else if (flag == "--format") {
+            opt.format = cli::parse_format(kTool, need_value(i));
         } else if (flag == "--csv") {
             opt.csv_path = need_value(i);
         } else if (flag == "--chart") {
@@ -135,83 +118,16 @@ Options parse(int argc, char** argv) {
         } else if (flag == "--scenario") {
             opt.scenarios.push_back(need_value(i));
         } else if (flag == "--jobs") {
-            opt.jobs = static_cast<std::size_t>(parse_u64(flag, need_value(i)));
-            if (opt.jobs == 0) usage_error("--jobs must be >= 1");
+            opt.jobs = static_cast<std::size_t>(u64(flag, need_value(i)));
+            if (opt.jobs == 0) cli::usage_error(kTool, "--jobs must be >= 1");
         } else if (flag == "--help" || flag == "-h") {
             std::printf("see the header comment of tools/lotus_run.cpp for usage\n");
             std::exit(0);
         } else {
-            usage_error("unknown flag " + flag);
+            cli::usage_error(kTool, "unknown flag " + flag);
         }
     }
     return opt;
-}
-
-detector::DetectorKind parse_detector(const std::string& s) {
-    if (s == "frcnn" || s == "faster_rcnn") return detector::DetectorKind::faster_rcnn;
-    if (s == "mrcnn" || s == "mask_rcnn") return detector::DetectorKind::mask_rcnn;
-    if (s == "yolo" || s == "yolov5") return detector::DetectorKind::yolo_v5;
-    usage_error("unknown detector " + s);
-}
-
-harness::ArmSpec make_arm(const Options& opt, const platform::DeviceSpec& spec) {
-    const std::string& g = opt.governor;
-
-    if (g == "default") return harness::default_arm(spec);
-    if (g == "ztt") return harness::ztt_arm(spec);
-    if (g == "lotus") return harness::lotus_arm(spec);
-
-    const auto simple = [&g](auto factory) {
-        return harness::ArmSpec{
-            .name = g,
-            .make = std::move(factory),
-            .paper = std::nullopt,
-            .tweak = nullptr,
-        };
-    };
-    if (g == "ondemand" || g == "conservative") {
-        return simple([g](std::uint64_t) -> std::unique_ptr<governors::Governor> {
-            return std::make_unique<governors::KernelGovernor>(
-                g + "+simple_ondemand",
-                g == "ondemand" ? governors::CpuPolicyKind::ondemand
-                                : governors::CpuPolicyKind::conservative,
-                governors::SimpleOndemandParams{});
-        });
-    }
-    if (g == "performance") {
-        return simple([](std::uint64_t) -> std::unique_ptr<governors::Governor> {
-            return std::make_unique<governors::PerformanceGovernor>();
-        });
-    }
-    if (g == "powersave") {
-        return simple([](std::uint64_t) -> std::unique_ptr<governors::Governor> {
-            return std::make_unique<governors::PowersaveGovernor>();
-        });
-    }
-    if (g == "random") {
-        return simple([](std::uint64_t seed) -> std::unique_ptr<governors::Governor> {
-            return std::make_unique<governors::RandomGovernor>(seed);
-        });
-    }
-    if (g.rfind("fixed:", 0) == 0) {
-        const auto spec_str = g.substr(6);
-        const auto comma = spec_str.find(',');
-        if (comma == std::string::npos) {
-            usage_error("malformed --governor '" + g + "': fixed wants fixed:<cpu>,<gpu>");
-        }
-        const auto cpu = static_cast<std::size_t>(
-            parse_u64("--governor fixed:<cpu>", spec_str.substr(0, comma)));
-        const auto gpu = static_cast<std::size_t>(
-            parse_u64("--governor fixed:<gpu>", spec_str.substr(comma + 1)));
-        if (cpu >= spec.cpu.opp.num_levels() || gpu >= spec.gpu.opp.num_levels()) {
-            usage_error("fixed:" + std::to_string(cpu) + "," + std::to_string(gpu) +
-                        " is outside the device's ladder (" +
-                        std::to_string(spec.cpu.opp.num_levels()) + " CPU x " +
-                        std::to_string(spec.gpu.opp.num_levels()) + " GPU levels)");
-        }
-        return harness::fixed_arm(cpu, gpu);
-    }
-    usage_error("unknown governor " + g);
 }
 
 int list_scenarios() {
@@ -230,9 +146,10 @@ int list_scenarios() {
 
 int run_scenarios(const Options& opt) {
     if (!opt.single_run_flags.empty()) {
-        usage_error(opt.single_run_flags.front() +
-                    " only applies to single-run mode; scenario definitions are fixed "
-                    "by the registry (tune --seed/--jobs/--chart/--csv instead)");
+        cli::usage_error(kTool, opt.single_run_flags.front() +
+                                    " only applies to single-run mode; scenario "
+                                    "definitions are fixed by the registry (tune "
+                                    "--seed/--jobs/--format/--chart/--csv instead)");
     }
     const auto& registry = harness::ScenarioRegistry::instance();
     std::vector<const harness::Scenario*> batch;
@@ -247,50 +164,30 @@ int run_scenarios(const Options& opt) {
         batch.push_back(s);
     }
 
-    // Compose the requested sinks; each consumes every scenario's results.
-    std::vector<std::unique_ptr<harness::ResultSink>> sinks;
-    if (opt.chart) sinks.push_back(std::make_unique<harness::AsciiFigureSink>());
-    sinks.push_back(std::make_unique<harness::SummaryTableSink>());
-    if (!opt.csv_path.empty()) {
-        sinks.push_back(std::make_unique<harness::CsvSink>(opt.csv_path));
-    }
+    cli::RenderOptions render;
+    render.format = opt.format;
+    render.chart = opt.chart;
+    render.csv_dir = opt.csv_path;
+    cli::reject_chart_with_json(kTool, render);
 
     const harness::ExperimentHarness harness({.jobs = opt.jobs, .seed = opt.seed});
     // Status goes to stderr so stdout is byte-identical at any --jobs count.
     std::fprintf(stderr, "lotus_run: %zu scenario(s), %zu jobs, seed %llu\n", batch.size(),
                  harness.config().jobs,
                  static_cast<unsigned long long>(harness.config().seed));
-    auto results = harness.run(batch);
-
-    // Results arrive in declaration order; regroup per scenario for the sinks.
-    std::size_t cursor = 0;
-    for (const auto* s : batch) {
-        const std::vector<harness::EpisodeResult> slice(
-            std::make_move_iterator(results.begin() + static_cast<std::ptrdiff_t>(cursor)),
-            std::make_move_iterator(results.begin() +
-                                    static_cast<std::ptrdiff_t>(cursor + s->arms.size())));
-        cursor += s->arms.size();
-        for (const auto& sink : sinks) sink->consume(*s, slice);
-        std::printf("\n");
-    }
+    cli::render_results(render, batch, harness.run(batch));
     return 0;
 }
 
 int run_single(const Options& opt) {
-    const bool orin = opt.device == "orin" || opt.device == "jetson";
-    const bool mi11 = opt.device == "mi11" || opt.device == "mi-11-lite";
-    if (!orin && !mi11) usage_error("unknown device " + opt.device);
-    const auto spec = orin ? platform::orin_nano_spec() : platform::mi11_lite_spec();
-    const auto kind = parse_detector(opt.detector);
-
-    std::string dataset;
-    if (opt.dataset == "kitti" || opt.dataset == "KITTI") {
-        dataset = "KITTI";
-    } else if (opt.dataset == "visdrone" || opt.dataset == "VisDrone2019") {
-        dataset = "VisDrone2019";
-    } else {
-        usage_error("unknown dataset " + opt.dataset);
+    if (opt.chart && opt.format == cli::OutputFormat::json) {
+        cli::usage_error(kTool, "--chart writes ASCII to stdout and cannot be combined "
+                                "with --format json");
     }
+    const auto spec = cli::parse_device(kTool, opt.device);
+    const bool orin = spec.name.find("orin") != std::string::npos;
+    const auto kind = cli::parse_detector(kTool, opt.detector);
+    const auto dataset = cli::parse_dataset(kTool, opt.dataset);
     const std::size_t iterations =
         opt.iterations > 0 ? opt.iterations : (orin ? 3000 : 1000);
 
@@ -302,32 +199,38 @@ int run_single(const Options& opt) {
         scenario.config.schedule =
             workload::DomainSchedule::constant(dataset, opt.constraint_ms / 1e3);
     }
-    scenario.arms.push_back(make_arm(opt, spec));
+    scenario.arms.push_back(cli::make_governor_arm(kTool, opt.governor, spec));
 
-    std::printf("lotus_run: %s + %s + %s under %s (%zu iterations, seed %llu, "
-                "L=%.0f ms)\n",
-                spec.name.c_str(), detector::to_string(kind), dataset.c_str(),
-                scenario.arms[0].name.c_str(), iterations,
-                static_cast<unsigned long long>(opt.seed),
-                scenario.config.schedule.at(0).latency_constraint_s * 1e3);
+    // Keep stdout clean for --format json; the banner is status, not data.
+    std::fprintf(opt.format == cli::OutputFormat::json ? stderr : stdout,
+                 "lotus_run: %s + %s + %s under %s (%zu iterations, seed %llu, "
+                 "L=%.0f ms)\n",
+                 spec.name.c_str(), detector::to_string(kind), dataset.c_str(),
+                 scenario.arms[0].name.c_str(), iterations,
+                 static_cast<unsigned long long>(opt.seed),
+                 scenario.config.schedule.at(0).latency_constraint_s * 1e3);
 
     const harness::ExperimentHarness harness({.jobs = 1, .seed = opt.seed});
     const auto results = harness.run(scenario);
     const auto& trace = results[0].trace;
-    const auto s = trace.summary();
 
-    util::TextTable table({"metric", "value"});
-    table.add_row({"mean latency (ms)", util::format_double(s.mean_latency_s * 1e3, 1)});
-    table.add_row({"latency std (ms)", util::format_double(s.std_latency_s * 1e3, 1)});
-    table.add_row({"satisfaction rate R_L (%)",
-                   util::format_double(s.satisfaction_rate * 100.0, 1)});
-    table.add_row({"mean device temp (C)", util::format_double(s.mean_device_temp, 1)});
-    table.add_row({"max device temp (C)", util::format_double(s.max_device_temp, 1)});
-    table.add_row({"mean power (W)", util::format_double(s.mean_power_w, 1)});
-    table.add_row({"throttled frames (%)",
-                   util::format_double(s.throttled_fraction * 100.0, 1)});
-    table.add_row({"mean proposals", util::format_double(s.mean_proposals, 1)});
-    std::printf("%s", table.render("summary").c_str());
+    if (opt.format == cli::OutputFormat::json) {
+        std::printf("%s\n", harness::scenario_json(scenario, results).c_str());
+    } else {
+        const auto s = trace.summary();
+        util::TextTable table({"metric", "value"});
+        table.add_row({"mean latency (ms)", util::format_double(s.mean_latency_s * 1e3, 1)});
+        table.add_row({"latency std (ms)", util::format_double(s.std_latency_s * 1e3, 1)});
+        table.add_row({"satisfaction rate R_L (%)",
+                       util::format_double(s.satisfaction_rate * 100.0, 1)});
+        table.add_row({"mean device temp (C)", util::format_double(s.mean_device_temp, 1)});
+        table.add_row({"max device temp (C)", util::format_double(s.max_device_temp, 1)});
+        table.add_row({"mean power (W)", util::format_double(s.mean_power_w, 1)});
+        table.add_row({"throttled frames (%)",
+                       util::format_double(s.throttled_fraction * 100.0, 1)});
+        table.add_row({"mean proposals", util::format_double(s.mean_proposals, 1)});
+        std::printf("%s", table.render("summary").c_str());
+    }
 
     if (opt.chart) {
         util::AsciiChart temp_chart(100, 12);
@@ -342,7 +245,10 @@ int run_single(const Options& opt) {
     }
     if (!opt.csv_path.empty()) {
         trace.write_csv(opt.csv_path);
-        std::printf("trace written to %s (%zu rows)\n", opt.csv_path.c_str(), trace.size());
+        // Status line: keep stdout machine-readable under --format json.
+        std::fprintf(opt.format == cli::OutputFormat::json ? stderr : stdout,
+                     "trace written to %s (%zu rows)\n", opt.csv_path.c_str(),
+                     trace.size());
     }
     return 0;
 }

@@ -1,0 +1,284 @@
+// lotus_serve: multi-stream serving front end.
+//
+// Two modes, both driven by the ExperimentHarness over serving scenarios:
+//
+//  * Scenario mode -- run named serving scenarios from the ScenarioRegistry
+//    (the serve_* catalog half). Parallel runs are byte-identical to serial
+//    runs for the same seed, so `--jobs` is purely a throughput knob.
+//
+//      lotus_serve --list-scenarios
+//      lotus_serve --scenario serve_saturation --jobs 4
+//      lotus_serve --scenario serve_light --format json
+//
+//  * Ad-hoc mode -- build one serving experiment from flags: N identical
+//    streams (phase-staggered so they do not arrive in lockstep) of the
+//    given dataset/arrival process, one governor, one scheduler.
+//
+//      lotus_serve --streams 8 --arrival burst --scheduler edf --governor lotus
+//      lotus_serve --streams 4 --arrival poisson --rate 0.5 --slo 800 --csv out/
+//
+// Flags (all optional):
+//   --list-scenarios  enumerate serving scenarios and exit
+//   --scenario NAME   run a registry serving scenario (repeatable)
+//   --jobs N          worker threads for scenario mode  (default: all cores)
+//   --device     orin | mi11                            (default orin)
+//   --detector   frcnn | mrcnn | yolo                   (default frcnn)
+//   --dataset    kitti | visdrone                       (default kitti)
+//   --governor   default | ztt | lotus | performance | powersave | random
+//              | ondemand | conservative | fixed:<cpu>,<gpu>  (default lotus)
+//   --scheduler  fifo | edf | edf_admit                 (default edf)
+//   --arrival    periodic | poisson | burst | diurnal | attack (default poisson)
+//   --streams N       number of client streams          (default 4)
+//   --rate HZ         per-stream mean request rate      (default 0.25)
+//   --slo MS          per-request deadline              (default 2x calibrated L)
+//   --requests N      requests per stream               (default 150; 25 fast mode)
+//   --burst N         requests per volley (burst/attack arrivals, default 8)
+//   --pretrain N      unrecorded warm-up frames         (default 2500; agents only)
+//   --seed S          experiment seed                   (default 42)
+//   --format table | json                               (default table)
+//   --csv DIR         write per-request ledgers + summary CSV into DIR
+//   --chart           render temperature / end-to-end latency ASCII charts
+//
+// Unknown flags, unknown enum values and malformed numbers are rejected
+// with a nonzero exit -- no silent fallbacks.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cli_common.hpp"
+
+using namespace lotus;
+
+namespace {
+
+const std::string kTool = "lotus_serve";
+
+struct Options {
+    std::string device = "orin";
+    std::string detector = "frcnn";
+    std::string dataset = "kitti";
+    std::string governor = "lotus";
+    std::string scheduler = "edf";
+    std::string arrival = "poisson";
+    std::size_t streams = 4;
+    double rate_hz = 0.25;
+    double slo_ms = 0.0; // 0 -> 2x calibrated constraint
+    std::size_t requests = 0; // 0 -> fast-mode-aware default
+    std::size_t burst = 8;
+    std::size_t pretrain = 2500;
+    std::uint64_t seed = 42;
+    cli::OutputFormat format = cli::OutputFormat::table;
+    std::string csv_dir;
+    bool chart = false;
+    bool list_scenarios = false;
+    std::vector<std::string> scenarios;
+    std::size_t jobs = 0;
+    /// Ad-hoc-only flags the user explicitly passed, so scenario mode can
+    /// reject them instead of silently ignoring an override.
+    std::vector<std::string> adhoc_flags;
+};
+
+Options parse(int argc, char** argv) {
+    Options opt;
+    const auto need_value = [&](int& i) -> std::string {
+        if (i + 1 >= argc) cli::usage_error(kTool, std::string("missing value for ") + argv[i]);
+        return argv[++i];
+    };
+    const auto u64 = [&](const std::string& flag, const std::string& v) {
+        return cli::parse_u64(kTool, flag, v);
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        const bool adhoc_only =
+            flag == "--device" || flag == "--detector" || flag == "--dataset" ||
+            flag == "--governor" || flag == "--scheduler" || flag == "--arrival" ||
+            flag == "--streams" || flag == "--rate" || flag == "--slo" ||
+            flag == "--requests" || flag == "--burst" || flag == "--pretrain";
+        if (adhoc_only) opt.adhoc_flags.push_back(flag);
+        if (flag == "--device") {
+            opt.device = need_value(i);
+        } else if (flag == "--detector") {
+            opt.detector = need_value(i);
+        } else if (flag == "--dataset") {
+            opt.dataset = need_value(i);
+        } else if (flag == "--governor") {
+            opt.governor = need_value(i);
+        } else if (flag == "--scheduler") {
+            opt.scheduler = need_value(i);
+        } else if (flag == "--arrival") {
+            opt.arrival = need_value(i);
+        } else if (flag == "--streams") {
+            opt.streams = static_cast<std::size_t>(u64(flag, need_value(i)));
+            if (opt.streams == 0) cli::usage_error(kTool, "--streams must be >= 1");
+        } else if (flag == "--rate") {
+            opt.rate_hz = cli::parse_positive_double(kTool, flag, need_value(i));
+        } else if (flag == "--slo") {
+            opt.slo_ms = cli::parse_positive_double(kTool, flag, need_value(i));
+        } else if (flag == "--requests") {
+            opt.requests = static_cast<std::size_t>(u64(flag, need_value(i)));
+            if (opt.requests == 0) cli::usage_error(kTool, "--requests must be >= 1");
+        } else if (flag == "--burst") {
+            opt.burst = static_cast<std::size_t>(u64(flag, need_value(i)));
+            if (opt.burst == 0) cli::usage_error(kTool, "--burst must be >= 1");
+        } else if (flag == "--pretrain") {
+            opt.pretrain = static_cast<std::size_t>(u64(flag, need_value(i)));
+        } else if (flag == "--seed") {
+            opt.seed = u64(flag, need_value(i));
+        } else if (flag == "--format") {
+            opt.format = cli::parse_format(kTool, need_value(i));
+        } else if (flag == "--csv") {
+            opt.csv_dir = need_value(i);
+        } else if (flag == "--chart") {
+            opt.chart = true;
+        } else if (flag == "--list-scenarios") {
+            opt.list_scenarios = true;
+        } else if (flag == "--scenario") {
+            opt.scenarios.push_back(need_value(i));
+        } else if (flag == "--jobs") {
+            opt.jobs = static_cast<std::size_t>(u64(flag, need_value(i)));
+            if (opt.jobs == 0) cli::usage_error(kTool, "--jobs must be >= 1");
+        } else if (flag == "--help" || flag == "-h") {
+            std::printf("see the header comment of tools/lotus_serve.cpp for usage\n");
+            std::exit(0);
+        } else {
+            cli::usage_error(kTool, "unknown flag " + flag);
+        }
+    }
+    return opt;
+}
+
+cli::RenderOptions render_options(const Options& opt) {
+    cli::RenderOptions r;
+    r.format = opt.format;
+    r.chart = opt.chart;
+    r.csv_dir = opt.csv_dir;
+    cli::reject_chart_with_json(kTool, r);
+    return r;
+}
+
+int list_scenarios() {
+    const auto& registry = harness::ScenarioRegistry::instance();
+    const auto serving = registry.with_tag("serving");
+    util::TextTable table({"scenario", "arms", "scheduler", "streams", "title"});
+    for (const auto* s : serving) {
+        table.add_row({s->name, std::to_string(s->arms.size()), s->serving->scheduler,
+                       std::to_string(s->serving->streams.size()), s->title});
+    }
+    std::printf("%s", table.render("serving scenarios (" + std::to_string(serving.size()) +
+                                   " of " + std::to_string(registry.all().size()) +
+                                   " registry entries)")
+                          .c_str());
+    return 0;
+}
+
+int run_scenarios(const Options& opt) {
+    if (!opt.adhoc_flags.empty()) {
+        cli::usage_error(kTool, opt.adhoc_flags.front() +
+                                    " only applies to ad-hoc mode; scenario definitions "
+                                    "are fixed by the registry (tune "
+                                    "--seed/--jobs/--format/--chart/--csv instead)");
+    }
+    const auto& registry = harness::ScenarioRegistry::instance();
+    std::vector<const harness::Scenario*> batch;
+    for (const auto& name : opt.scenarios) {
+        const auto* s = registry.find(name);
+        if (s == nullptr) {
+            std::fprintf(stderr, "%s: unknown scenario '%s' (try --list-scenarios)\n",
+                         kTool.c_str(), name.c_str());
+            return 2;
+        }
+        if (!s->is_serving()) {
+            std::fprintf(stderr,
+                         "%s: scenario '%s' is a classic experiment, not a serving "
+                         "scenario (run it with lotus_run)\n",
+                         kTool.c_str(), name.c_str());
+            return 2;
+        }
+        batch.push_back(s);
+    }
+
+    const auto render = render_options(opt); // validate before the long run
+    const harness::ExperimentHarness harness({.jobs = opt.jobs, .seed = opt.seed});
+    // Status goes to stderr so stdout is byte-identical at any --jobs count.
+    std::fprintf(stderr, "%s: %zu scenario(s), %zu jobs, seed %llu\n", kTool.c_str(),
+                 batch.size(), harness.config().jobs,
+                 static_cast<unsigned long long>(harness.config().seed));
+    cli::render_results(render, batch, harness.run(batch));
+    return 0;
+}
+
+int run_adhoc(const Options& opt) {
+    const auto render = render_options(opt); // validate before the long run
+    const auto spec = cli::parse_device(kTool, opt.device);
+    const auto kind = cli::parse_detector(kTool, opt.detector);
+    const auto dataset = cli::parse_dataset(kTool, opt.dataset);
+
+    serving::ArrivalSpec arrival;
+    try {
+        arrival.kind = serving::arrival_kind_from(opt.arrival);
+    } catch (const std::invalid_argument& e) {
+        cli::usage_error(kTool, e.what());
+    }
+    arrival.rate_hz = opt.rate_hz;
+    arrival.burst = opt.burst;
+
+    const double constraint =
+        workload::latency_constraint_s(spec.name, kind, dataset);
+    const double slo_s = opt.slo_ms > 0.0 ? opt.slo_ms / 1e3 : 2.0 * constraint;
+    const std::size_t requests =
+        opt.requests > 0 ? opt.requests : (harness::fast_mode() ? 25 : 150);
+
+    harness::Scenario scenario(
+        runtime::static_experiment(spec, kind, dataset, 1, 0, opt.seed));
+    scenario.name = "cli_serve";
+    scenario.title = "lotus_serve ad-hoc serving experiment";
+
+    serving::ServingConfig cfg(spec);
+    cfg.detector = kind;
+    cfg.scheduler = opt.scheduler;
+    cfg.pretrain_iterations = opt.pretrain;
+    cfg.pretrain_constraint_s = constraint;
+    // Stagger stream phases across one mean inter-arrival so N identical
+    // streams do not fire in lockstep.
+    for (std::size_t i = 0; i < opt.streams; ++i) {
+        serving::StreamSpec stream;
+        stream.name = "stream" + std::to_string(i);
+        stream.dataset = dataset;
+        stream.slo_s = slo_s;
+        stream.requests = requests;
+        stream.arrival = arrival;
+        stream.arrival.phase_s =
+            static_cast<double>(i) / (arrival.rate_hz * static_cast<double>(opt.streams));
+        cfg.streams.push_back(std::move(stream));
+    }
+    try {
+        (void)serving::make_scheduler(opt.scheduler);
+    } catch (const std::invalid_argument& e) {
+        cli::usage_error(kTool, e.what());
+    }
+    scenario.serving = std::move(cfg);
+    scenario.arms.push_back(cli::make_governor_arm(kTool, opt.governor, spec));
+
+    std::fprintf(stderr,
+                 "%s: %s + %s + %s | %zu streams x %zu req @ %.2f Hz (%s), SLO %.0f ms, "
+                 "scheduler %s, governor %s, seed %llu\n",
+                 kTool.c_str(), spec.name.c_str(), detector::to_string(kind),
+                 dataset.c_str(), opt.streams, requests, opt.rate_hz,
+                 serving::to_string(arrival.kind), slo_s * 1e3, opt.scheduler.c_str(),
+                 scenario.arms[0].name.c_str(),
+                 static_cast<unsigned long long>(opt.seed));
+
+    const harness::ExperimentHarness harness({.jobs = opt.jobs, .seed = opt.seed});
+    cli::render_results(render, {&scenario}, harness.run(scenario));
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const auto opt = parse(argc, argv);
+    if (opt.list_scenarios) return list_scenarios();
+    if (!opt.scenarios.empty()) return run_scenarios(opt);
+    return run_adhoc(opt);
+}
