@@ -30,15 +30,15 @@ int main() {
         const auto results = bench::run(sc);
         for (const auto& r : results) {
             const auto s = r.trace.summary();
-            const auto lat = r.trace.latencies_ms();
+            const auto pct = util::percentiles(r.trace.latencies_ms(), {5.0, 95.0});
             const auto& dataset = r.config.schedule.at(0).dataset;
             table.add_row({
                 dataset,
                 r.arm, // arm name == detector name in the Fig. 1 scenarios
                 util::format_double(s.mean_latency_s * 1e3, 1),
                 util::format_double(s.std_latency_s * 1e3, 1),
-                util::format_double(util::percentile(lat, 5), 1),
-                util::format_double(util::percentile(lat, 95), 1),
+                util::format_double(pct[0], 1),
+                util::format_double(pct[1], 1),
                 util::format_double(workload::map50(r.config.detector, dataset), 1),
             });
         }

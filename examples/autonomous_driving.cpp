@@ -25,17 +25,18 @@ void report(const std::string& name, const runtime::Trace& trace) {
     std::size_t worst_streak = 0;
     std::size_t streak = 0;
     for (const auto& row : trace.rows()) {
-        if (row.latency_s >= row.constraint_s) {
+        // "<= is satisfied": the repo-wide SLO boundary rule.
+        if (row.latency_s > row.constraint_s) {
             ++misses;
             worst_streak = std::max(worst_streak, ++streak);
         } else {
             streak = 0;
         }
     }
+    const auto pct = util::percentiles(lat, {50.0, 95.0, 99.0});
     std::printf("  %-34s p50 %6.1f  p95 %6.1f  p99 %6.1f ms | misses %4zu/%zu "
                 "(worst streak %zu) | T_dev %5.1f C\n",
-                name.c_str(), util::percentile(lat, 50), util::percentile(lat, 95),
-                util::percentile(lat, 99), misses, trace.size(), worst_streak,
+                name.c_str(), pct[0], pct[1], pct[2], misses, trace.size(), worst_streak,
                 s.mean_device_temp);
 }
 

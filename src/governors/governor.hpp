@@ -14,6 +14,21 @@
 //    governors (schedutil, simple_ondemand, ...) actually run: on a timer,
 //    application-agnostic.
 //
+// Tick delivery contract (enforced by the single time-advance authority,
+// EdgeDevice::advance, with the InferenceEngine as its AdvanceListener):
+//  * ticks fire at the governor's exact cadence -- now_s is a precise
+//    multiple of tick_interval_s past the first bind -- for ALL simulated
+//    time: work slices, idle gaps (run_idle), agent decision overhead and
+//    DVFS-transition stalls alike;
+//  * the tick count over a span of simulated time is therefore invariant to
+//    how the engine slices its work integration (EngineConfig::max_slice_s);
+//  * a level request returned from on_tick takes effect immediately
+//    (mid-stage); its DVFS stall is charged on top of the in-flight slice,
+//    and ticks keep firing during the stall;
+//  * observations carry the temperatures evaluated at the exact tick
+//    instant -- the thermal stepper splits its integration segments at tick
+//    deadlines and throttle-poll instants.
+//
 // Agent-based governors also declare a per-decision communication overhead
 // (the paper's client <-> agent socket messages plus the Q-network forward
 // pass, Sec. 4.4.2); the engine charges it to the frame latency.

@@ -6,6 +6,14 @@
 
 namespace lotus::platform {
 
+namespace {
+/// Tolerance when comparing the clock against event deadlines (absorbs
+/// floating-point residue of stepping exactly onto an event instant).
+constexpr double kTimeEps = 1e-12;
+/// Legacy fixed sub-slice of ThermalStepping::euler_slice [s].
+constexpr double kEulerSlice = 0.02;
+} // namespace
+
 EdgeDevice::EdgeDevice(DeviceSpec spec)
     : spec_(std::move(spec)),
       cpu_power_(spec_.cpu.power),
@@ -29,6 +37,9 @@ EdgeDevice::EdgeDevice(DeviceSpec spec)
     }
     if (spec_.dvfs_latency_s < 0.0) {
         throw std::invalid_argument("EdgeDevice: negative dvfs latency");
+    }
+    if (spec_.thermal_accuracy_k <= 0.0) {
+        throw std::invalid_argument("EdgeDevice: thermal_accuracy_k must be > 0");
     }
     thermal_.reset(ambient_);
 }
@@ -81,28 +92,87 @@ double EdgeDevice::gpu_throughput() const noexcept {
 }
 
 void EdgeDevice::advance(double dt, double cpu_util, double gpu_util) {
-    if (dt < 0.0) throw std::invalid_argument("EdgeDevice::advance: negative dt");
-    // Sub-step so that throttling (polled at ~100 ms) can change the granted
-    // frequency *during* a long stage, exactly as on hardware.
-    constexpr double kMaxSlice = 0.02;
-    while (dt > 0.0) {
-        const double h = std::min(dt, kMaxSlice);
-        dt -= h;
+    (void)advance_segmented(dt, cpu_util, gpu_util, /*stop_on_level_change=*/false);
+}
 
+double EdgeDevice::advance_work(double dt, double cpu_util, double gpu_util) {
+    return advance_segmented(dt, cpu_util, gpu_util, /*stop_on_level_change=*/true);
+}
+
+void EdgeDevice::fire_due_events(double cpu_util, double gpu_util) {
+    if (!listener_) return;
+    for (int guard = 0; listener_->next_event_s() <= now_ + kTimeEps; ++guard) {
+        if (guard > 4096) {
+            throw std::logic_error(
+                "EdgeDevice::advance: listener does not move its event deadline forward");
+        }
+        listener_->on_event(now_, cpu_util, gpu_util);
+    }
+}
+
+double EdgeDevice::advance_segmented(double dt, double cpu_util, double gpu_util,
+                                     bool stop_on_level_change) {
+    if (dt < 0.0) throw std::invalid_argument("EdgeDevice::advance: negative dt");
+    if (dt == 0.0) return 0.0;
+
+    const bool closed_form = spec_.thermal_stepping == ThermalStepping::closed_form;
+    double remaining = dt;
+    double elapsed = 0.0;
+    fire_due_events(cpu_util, gpu_util);
+    while (remaining > 0.0) {
         const auto cl = cpu_level();
         const auto gl = gpu_level();
         const double p_cpu = cpu_power_.total(spec_.cpu.opp.freq(cl), spec_.cpu.opp.voltage(cl),
                                               cpu_util, cpu_temp());
         const double p_gpu = gpu_power_.total(spec_.gpu.opp.freq(gl), spec_.gpu.opp.voltage(gl),
                                               gpu_util, gpu_temp());
+        const std::array<double, kNumThermalNodes> power{p_cpu, p_gpu, 0.0};
+
+        // Segment budget: up to the earliest of caller deadline, throttle
+        // polls and the listener's next event. Power (and hence the
+        // linearised thermal input) is frozen across the segment, so every
+        // throttle poll and listener event sees the temperature evaluated at
+        // its exact instant.
+        double t_next = now_ + remaining;
+        t_next = std::min(t_next, cpu_throttle_.next_poll_s());
+        t_next = std::min(t_next, gpu_throttle_.next_poll_s());
+        if (listener_) t_next = std::min(t_next, listener_->next_event_s());
+        t_next = std::max(t_next, now_ + 1e-9); // progress guarantee
+        const double budget = std::min(t_next - now_, remaining);
+
+        double h;
+        if (closed_form) {
+            // One modal projection bounds the step (thermal_accuracy_k) and
+            // advances it; h <= budget.
+            h = thermal_.advance_bounded(budget, power, ambient_,
+                                         spec_.thermal_accuracy_k);
+        } else {
+            h = std::min(budget, kEulerSlice);
+            thermal_.step(h, power, ambient_);
+        }
         last_power_ = {p_cpu, p_gpu};
         energy_j_ += (p_cpu + p_gpu) * h;
-
-        thermal_.step(h, {p_cpu, p_gpu, 0.0}, ambient_);
         now_ += h;
+        remaining -= h;
+        elapsed += h;
+
+        // Polls only run on their own grid; remember whether this segment
+        // reached one so on_throttle keeps its "after a poll" contract.
+        const bool polled = now_ + kTimeEps >= cpu_throttle_.next_poll_s() ||
+                            now_ + kTimeEps >= gpu_throttle_.next_poll_s();
         cpu_throttle_.update(now_, cpu_temp());
         gpu_throttle_.update(now_, gpu_temp());
+        if (listener_ && polled && (cpu_throttle_.engaged() || gpu_throttle_.engaged())) {
+            listener_->on_throttle(now_, cpu_throttle_.engaged(), gpu_throttle_.engaged());
+        }
+        // Deliver due listener events (kernel ticks). These may nest another
+        // advance (a tick requesting new levels pays the DVFS stall), which
+        // runs this loop re-entrantly on top of the current segment.
+        fire_due_events(cpu_util, gpu_util);
+
+        if (stop_on_level_change && (cpu_level() != cl || gl != gpu_level())) break;
     }
+    return elapsed;
 }
 
 void EdgeDevice::reset() {

@@ -9,9 +9,23 @@
 //   * burn compute time via advance(dt, cpu_util, gpu_util),
 //   * observe temperatures/frequencies -- directly or through the mounted
 //     sysfs tree.
+//
+// advance() is the *single time-advance authority*: every path that moves
+// the simulated clock -- work slices, idle gaps, agent decision overhead
+// and the DVFS-transition latency charged inside request_levels() -- runs
+// through the same event-driven loop. The loop splits time at "events"
+// (throttle-poll instants, the registered listener's next deadline, and the
+// thermal stepper's accuracy bound) and notifies the AdvanceListener at
+// each of them, so kernel-governor ticks land at their exact cadence and
+// throttle engagements are observable no matter which code path burned the
+// time. Between events the RC network is integrated either with the exact
+// closed-form exponential step (default) or with the legacy fixed 20 ms
+// Euler slicing (ThermalStepping::euler_slice, kept as the accuracy/perf
+// reference for bench_overhead).
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "platform/opp.hpp"
@@ -21,6 +35,52 @@
 #include "platform/throttle.hpp"
 
 namespace lotus::platform {
+
+/// Observer of the device's time-advance loop. The InferenceEngine
+/// registers one to receive kernel-tick deadlines and throttle flips for
+/// *all* advanced time (work, idle, decision overhead, DVFS transitions).
+///
+/// Contract: on_event() fires whenever the clock reaches next_event_s()
+/// (never later -- the advance loop splits its integration segment there);
+/// after each call the listener must move next_event_s() strictly forward,
+/// or the device throws std::logic_error. on_event() may re-enter
+/// EdgeDevice::advance()/request_levels() (e.g. a governor tick changing
+/// levels mid-slice); the nested time is charged on top of the in-flight
+/// advance, exactly like a DVFS stall on hardware extends the work around
+/// it. on_throttle() fires after any throttle poll that leaves a domain
+/// engaged.
+class AdvanceListener {
+public:
+    virtual ~AdvanceListener() = default;
+    /// Next absolute simulated time [s] at which the listener needs control
+    /// (e.g. a kernel-governor tick deadline); +infinity when it does not.
+    [[nodiscard]] virtual double next_event_s() const { return kNoEvent; }
+    /// The clock reached next_event_s(); utils are those of the advancing
+    /// work at that instant.
+    virtual void on_event(double now_s, double cpu_util, double gpu_util) {
+        (void)now_s;
+        (void)cpu_util;
+        (void)gpu_util;
+    }
+    /// A throttle poll just ran and at least one domain is engaged.
+    virtual void on_throttle(double now_s, bool cpu_engaged, bool gpu_engaged) {
+        (void)now_s;
+        (void)cpu_engaged;
+        (void)gpu_engaged;
+    }
+
+    static constexpr double kNoEvent = 1e300;
+};
+
+/// Integration scheme used between events of the advance loop.
+enum class ThermalStepping {
+    /// Exact exponential solution of the RC network per segment (adaptive
+    /// event-driven stepping; segment length bounded by thermal_accuracy_k).
+    closed_form,
+    /// Legacy fixed 20 ms sub-slicing with Euler sub-steps of
+    /// ThermalParams::max_dt; kept as the reference integrator.
+    euler_slice,
+};
 
 /// One DVFS domain: its OPP ladder, power parameters and compute
 /// characteristics used by the detector latency model.
@@ -46,6 +106,12 @@ struct DeviceSpec {
     /// microseconds").
     double dvfs_latency_s = 50e-6;
     double initial_ambient_celsius = 25.0;
+    /// Thermal integration scheme between advance-loop events.
+    ThermalStepping thermal_stepping = ThermalStepping::closed_form;
+    /// Closed-form stepping only: maximum temperature drift allowed per
+    /// frozen-power segment [K]. Bounds the error of holding the
+    /// (temperature-dependent) leakage power constant within a segment.
+    double thermal_accuracy_k = 0.25;
 };
 
 struct PowerSample {
@@ -84,11 +150,31 @@ public:
 
     // --- time / physics ----------------------------------------------------
     /// Advance simulated time by dt seconds with the given domain
-    /// utilizations; integrates the thermal network (sub-stepped), polls the
-    /// throttlers and accumulates energy.
+    /// utilizations: integrates the thermal network between events, polls
+    /// the throttlers at their exact instants, accumulates energy and
+    /// notifies the registered AdvanceListener. The ONLY place the clock
+    /// moves. Listener events may nest further advances (DVFS stalls); the
+    /// nested time is in addition to dt.
     void advance(double dt, double cpu_util, double gpu_util);
 
+    /// Like advance(), but returns as soon as a segment ends with different
+    /// granted levels than it started with (throttle clamp or a listener
+    /// event changing the request). Returns the time actually advanced
+    /// (nested listener-triggered advances excluded), which is <= dt.
+    /// Callers integrating work at a sampled throughput stay exact: the
+    /// throughput is constant over the returned interval by construction.
+    [[nodiscard]] double advance_work(double dt, double cpu_util, double gpu_util);
+
+    /// Register the advance-loop observer (nullptr to clear). One listener
+    /// at a time; the runtime's InferenceEngine owns it in practice.
+    void set_advance_listener(AdvanceListener* listener) noexcept { listener_ = listener; }
+    [[nodiscard]] AdvanceListener* advance_listener() const noexcept { return listener_; }
+
     [[nodiscard]] double now() const noexcept { return now_; }
+
+    /// Thermal integration steps taken since construction/reset() (the
+    /// denominator of bench_overhead's stepper comparison).
+    [[nodiscard]] std::uint64_t thermal_steps() const noexcept { return thermal_.steps(); }
 
     // --- observability -----------------------------------------------------
     [[nodiscard]] double cpu_temp() const noexcept {
@@ -120,12 +206,19 @@ public:
     void mount_sysfs(SysfsFs& fs);
 
 private:
+    /// Shared event-driven advance loop behind advance()/advance_work().
+    double advance_segmented(double dt, double cpu_util, double gpu_util,
+                             bool stop_on_level_change);
+    /// Deliver every listener event whose deadline is already due.
+    void fire_due_events(double cpu_util, double gpu_util);
+
     DeviceSpec spec_;
     PowerModel cpu_power_;
     PowerModel gpu_power_;
     ThermalNetwork thermal_;
     ThermalThrottler cpu_throttle_;
     ThermalThrottler gpu_throttle_;
+    AdvanceListener* listener_ = nullptr;
 
     std::size_t req_cpu_;
     std::size_t req_gpu_;

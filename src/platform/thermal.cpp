@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace lotus::platform {
@@ -24,6 +25,78 @@ ThermalNetwork::ThermalNetwork(ThermalParams params) : params_(params) {
     }
     if (params_.max_dt <= 0.0) throw std::invalid_argument("ThermalNetwork: max_dt must be > 0");
     temps_ = params_.initial;
+    decompose();
+}
+
+void ThermalNetwork::decompose() {
+    // Conductance matrix G of C dT/dt = -G T + b (b = P + G_amb * T_amb).
+    std::array<std::array<double, kNumThermalNodes>, kNumThermalNodes> g{};
+    g[kCpu][kCpu] = params_.g_to_board[kCpu] + params_.g_to_ambient[kCpu];
+    g[kGpu][kGpu] = params_.g_to_board[kGpu] + params_.g_to_ambient[kGpu];
+    g[kBoard][kBoard] =
+        params_.g_to_board[kCpu] + params_.g_to_board[kGpu] + params_.g_to_ambient[kBoard];
+    g[kCpu][kBoard] = g[kBoard][kCpu] = -params_.g_to_board[kCpu];
+    g[kGpu][kBoard] = g[kBoard][kGpu] = -params_.g_to_board[kGpu];
+
+    for (std::size_t i = 0; i < kNumThermalNodes; ++i) {
+        sqrt_c_[i] = std::sqrt(params_.capacity[i]);
+    }
+
+    // S = C^{-1/2} G C^{-1/2}: symmetric, similar to C^{-1} G, so its
+    // eigenvalues are the (real, non-negative) decay rates of the network.
+    std::array<std::array<double, kNumThermalNodes>, kNumThermalNodes> s{};
+    for (std::size_t i = 0; i < kNumThermalNodes; ++i) {
+        for (std::size_t j = 0; j < kNumThermalNodes; ++j) {
+            s[i][j] = g[i][j] / (sqrt_c_[i] * sqrt_c_[j]);
+        }
+    }
+
+    // Cyclic Jacobi eigendecomposition (3x3 symmetric: converges in a few
+    // sweeps, fully deterministic).
+    std::array<std::array<double, kNumThermalNodes>, kNumThermalNodes> v{};
+    for (std::size_t i = 0; i < kNumThermalNodes; ++i) v[i][i] = 1.0;
+    for (int sweep = 0; sweep < 64; ++sweep) {
+        double off = 0.0;
+        for (std::size_t p = 0; p < kNumThermalNodes; ++p) {
+            for (std::size_t q = p + 1; q < kNumThermalNodes; ++q) off += s[p][q] * s[p][q];
+        }
+        if (off < 1e-26) break;
+        for (std::size_t p = 0; p < kNumThermalNodes; ++p) {
+            for (std::size_t q = p + 1; q < kNumThermalNodes; ++q) {
+                if (std::abs(s[p][q]) < 1e-300) continue;
+                const double theta = (s[q][q] - s[p][p]) / (2.0 * s[p][q]);
+                const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                                 (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double sn = t * c;
+                for (std::size_t k = 0; k < kNumThermalNodes; ++k) {
+                    const double skp = s[k][p];
+                    const double skq = s[k][q];
+                    s[k][p] = c * skp - sn * skq;
+                    s[k][q] = sn * skp + c * skq;
+                }
+                for (std::size_t k = 0; k < kNumThermalNodes; ++k) {
+                    const double spk = s[p][k];
+                    const double sqk = s[q][k];
+                    s[p][k] = c * spk - sn * sqk;
+                    s[q][k] = sn * spk + c * sqk;
+                    const double vkp = v[k][p];
+                    const double vkq = v[k][q];
+                    v[k][p] = c * vkp - sn * vkq;
+                    v[k][q] = sn * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    for (std::size_t k = 0; k < kNumThermalNodes; ++k) {
+        eigenvalues_[k] = std::max(s[k][k], 0.0);
+    }
+    eigenvectors_ = v;
+    // Without a path to ambient G is singular: no steady state exists and
+    // the modal form has a zero mode, so the exact stepper is unavailable.
+    double lambda_min = eigenvalues_[0];
+    for (const double l : eigenvalues_) lambda_min = std::min(lambda_min, l);
+    has_closed_form_ = lambda_min > 1e-12;
 }
 
 void ThermalNetwork::step(double dt, const std::array<double, kNumThermalNodes>& power_w,
@@ -50,7 +123,99 @@ void ThermalNetwork::step(double dt, const std::array<double, kNumThermalNodes>&
         temps_[kCpu] += h * d_cpu / params_.capacity[kCpu];
         temps_[kGpu] += h * d_gpu / params_.capacity[kGpu];
         temps_[kBoard] += h * d_board / params_.capacity[kBoard];
+        ++steps_;
     }
+}
+
+ThermalNetwork::Modal ThermalNetwork::project(
+    const std::array<double, kNumThermalNodes>& power_w, double ambient_celsius) const {
+    Modal m;
+    m.t_ss = steady_state(power_w, ambient_celsius);
+    // Modal coordinates of the deviation from steady state: a = V^T C^{1/2}
+    // (T - T_ss); each mode decays as e^{-lambda_k t}.
+    for (std::size_t k = 0; k < kNumThermalNodes; ++k) {
+        for (std::size_t i = 0; i < kNumThermalNodes; ++i) {
+            m.a[k] += eigenvectors_[i][k] * sqrt_c_[i] * (temps_[i] - m.t_ss[i]);
+        }
+    }
+    return m;
+}
+
+double ThermalNetwork::drift_bound(const Modal& modal, double delta_k) const {
+    // Node i moves as T_i(t) - T_i(0) = sum_k c_ik (e^{-lambda_k t} - 1)
+    // with c_ik = V_ik a_k / sqrt(C_i). Two rigorous per-node bounds:
+    //   saturation: |dT_i(t)| <= A_i        = sum_k |c_ik|       (for all t)
+    //   rate:       |dT_i(t)| <= t * R_i,   R_i = sum_k |c_ik| lambda_k
+    // (1 - e^{-x} <= min(1, x)). A node with A_i <= delta can never drift
+    // that far; otherwise delta / R_i bounds its crossing time. Taking the
+    // per-node rate -- instead of amplitude * lambda_max -- keeps the slow,
+    // large-amplitude board mode from being charged at the fast die rate.
+    double step = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < kNumThermalNodes; ++i) {
+        double amplitude = 0.0;
+        double rate = 0.0;
+        for (std::size_t k = 0; k < kNumThermalNodes; ++k) {
+            const double c = std::abs(eigenvectors_[i][k] * modal.a[k]) / sqrt_c_[i];
+            amplitude += c;
+            rate += c * eigenvalues_[k];
+        }
+        if (amplitude <= delta_k || rate <= 0.0) continue;
+        step = std::min(step, delta_k / rate);
+    }
+    return step;
+}
+
+void ThermalNetwork::apply_decay(const Modal& modal, double dt) {
+    for (std::size_t i = 0; i < kNumThermalNodes; ++i) {
+        double w = 0.0;
+        for (std::size_t k = 0; k < kNumThermalNodes; ++k) {
+            w += eigenvectors_[i][k] * modal.a[k] * std::exp(-eigenvalues_[k] * dt);
+        }
+        temps_[i] = modal.t_ss[i] + w / sqrt_c_[i];
+    }
+    ++steps_;
+}
+
+void ThermalNetwork::step_exact(double dt, const std::array<double, kNumThermalNodes>& power_w,
+                                double ambient_celsius) {
+    if (dt < 0.0) throw std::invalid_argument("ThermalNetwork::step_exact: negative dt");
+    if (dt == 0.0) return;
+    if (!has_closed_form_) {
+        step(dt, power_w, ambient_celsius);
+        return;
+    }
+    apply_decay(project(power_w, ambient_celsius), dt);
+}
+
+double ThermalNetwork::max_step_for_drift(const std::array<double, kNumThermalNodes>& power_w,
+                                          double ambient_celsius, double delta_k) const {
+    if (delta_k <= 0.0) {
+        throw std::invalid_argument("ThermalNetwork::max_step_for_drift: delta must be > 0");
+    }
+    if (!has_closed_form_) return std::numeric_limits<double>::infinity();
+    return drift_bound(project(power_w, ambient_celsius), delta_k);
+}
+
+double ThermalNetwork::advance_bounded(double dt_max,
+                                       const std::array<double, kNumThermalNodes>& power_w,
+                                       double ambient_celsius, double delta_k) {
+    if (dt_max < 0.0) {
+        throw std::invalid_argument("ThermalNetwork::advance_bounded: negative dt");
+    }
+    if (delta_k <= 0.0) {
+        throw std::invalid_argument("ThermalNetwork::advance_bounded: delta must be > 0");
+    }
+    if (dt_max == 0.0) return 0.0;
+    if (!has_closed_form_) {
+        step(dt_max, power_w, ambient_celsius);
+        return dt_max;
+    }
+    const auto modal = project(power_w, ambient_celsius);
+    // The 1 ns floor guarantees forward progress even if the bound ever
+    // degenerates numerically.
+    const double h = std::min(dt_max, std::max(drift_bound(modal, delta_k), 1e-9));
+    apply_decay(modal, h);
+    return h;
 }
 
 std::array<double, kNumThermalNodes> ThermalNetwork::steady_state(
@@ -85,10 +250,12 @@ std::array<double, kNumThermalNodes> ThermalNetwork::steady_state(
 
 void ThermalNetwork::reset(double ambient_celsius) {
     temps_ = {ambient_celsius, ambient_celsius, ambient_celsius};
+    steps_ = 0;
 }
 
 void ThermalNetwork::reset() {
     temps_ = params_.initial;
+    steps_ = 0;
 }
 
 } // namespace lotus::platform

@@ -42,6 +42,14 @@ public:
     /// Highest OPP level currently allowed.
     [[nodiscard]] std::size_t cap() const noexcept { return cap_; }
 
+    /// Absolute time of the next polling decision [s]; the device's
+    /// event-driven advance loop splits its integration segments here so
+    /// that the temperature each poll reads is evaluated at the exact poll
+    /// instant.
+    [[nodiscard]] double next_poll_s() const noexcept {
+        return last_poll_ + params_.poll_interval_s;
+    }
+
     /// True while the cap is below the top level.
     [[nodiscard]] bool engaged() const noexcept { return cap_ + 1 < params_.num_levels; }
 

@@ -16,6 +16,11 @@ InferenceEngine::InferenceEngine(platform::EdgeDevice& device, EngineConfig conf
     if (cfg_.max_slice_s <= 0.0) {
         throw std::invalid_argument("InferenceEngine: max_slice_s must be > 0");
     }
+    device_.set_advance_listener(this);
+}
+
+InferenceEngine::~InferenceEngine() {
+    if (device_.advance_listener() == this) device_.set_advance_listener(nullptr);
 }
 
 void InferenceEngine::reset() {
@@ -23,6 +28,50 @@ void InferenceEngine::reset() {
     tick_initialized_ = false;
     next_tick_due_ = 0.0;
 }
+
+// --- AdvanceListener ---------------------------------------------------------
+
+double InferenceEngine::next_event_s() const {
+    if (!gov_ || !tick_initialized_ || gov_->tick_interval_s() <= 0.0) {
+        return platform::AdvanceListener::kNoEvent;
+    }
+    return next_tick_due_;
+}
+
+void InferenceEngine::on_event(double now_s, double cpu_util, double gpu_util) {
+    const double interval = gov_->tick_interval_s();
+    governors::TickObservation tick;
+    tick.now_s = now_s;
+    tick.dt_s = interval;
+    tick.cpu_util = cpu_util;
+    tick.gpu_util = gpu_util;
+    tick.cpu_temp = device_.cpu_temp();
+    tick.gpu_temp = device_.gpu_temp();
+    tick.cpu_level = device_.cpu_level();
+    tick.gpu_level = device_.gpu_level();
+    tick.cpu_levels = device_.cpu_levels();
+    tick.gpu_levels = device_.gpu_levels();
+    // Move the deadline before delivering: on_tick may request new levels,
+    // whose DVFS stall re-enters the advance loop (and must not re-fire the
+    // same tick).
+    next_tick_due_ += interval;
+    apply(gov_->on_tick(tick));
+}
+
+void InferenceEngine::on_throttle(double, bool, bool) {
+    frame_saw_throttle_ = true;
+}
+
+void InferenceEngine::bind(governors::Governor& governor) {
+    gov_ = &governor;
+    const double interval = governor.tick_interval_s();
+    if (interval > 0.0 && !tick_initialized_) {
+        next_tick_due_ = device_.now() + interval;
+        tick_initialized_ = true;
+    }
+}
+
+// -----------------------------------------------------------------------------
 
 governors::Observation InferenceEngine::make_observation(std::size_t iteration,
                                                          double constraint_s,
@@ -48,67 +97,41 @@ governors::Observation InferenceEngine::make_observation(std::size_t iteration,
 
 void InferenceEngine::apply(const governors::LevelRequest& request) {
     if (!request.has_request) return;
+    // request_levels advances the clock through the DVFS stall; the device
+    // keeps delivering ticks and throttle flips to us meanwhile (single
+    // time-advance authority).
     device_.request_levels(std::min(request.cpu, device_.cpu_levels() - 1),
                            std::min(request.gpu, device_.gpu_levels() - 1));
 }
 
-void InferenceEngine::charge_decision_overhead(governors::Governor& governor) {
-    const double overhead = governor.decision_overhead_s();
+void InferenceEngine::charge_decision_overhead() {
+    const double overhead = gov_->decision_overhead_s();
     if (overhead > 0.0) {
         // The device idles while the observation travels to the agent and
         // the action comes back (socket + Q-network, Sec. 4.4.2).
-        advance_slice(overhead, cfg_.idle_cpu_util, 0.0, governor);
+        device_.advance(overhead, cfg_.idle_cpu_util, 0.0);
     }
 }
 
-void InferenceEngine::advance_slice(double h, double cpu_util, double gpu_util,
-                                    governors::Governor& governor) {
-    device_.advance(h, cpu_util, gpu_util);
-    frame_saw_throttle_ = frame_saw_throttle_ || device_.throttled();
-
-    const double interval = governor.tick_interval_s();
-    if (interval <= 0.0) return;
-    if (!tick_initialized_) {
-        next_tick_due_ = device_.now() + interval;
-        tick_initialized_ = true;
-        return;
-    }
-    while (device_.now() >= next_tick_due_) {
-        governors::TickObservation tick;
-        tick.now_s = device_.now();
-        tick.dt_s = interval;
-        tick.cpu_util = cpu_util;
-        tick.gpu_util = gpu_util;
-        tick.cpu_temp = device_.cpu_temp();
-        tick.gpu_temp = device_.gpu_temp();
-        tick.cpu_level = device_.cpu_level();
-        tick.gpu_level = device_.gpu_level();
-        tick.cpu_levels = device_.cpu_levels();
-        tick.gpu_levels = device_.gpu_levels();
-        apply(governor.on_tick(tick));
-        next_tick_due_ += interval;
-    }
-}
-
-void InferenceEngine::execute_cpu_work(double ops, governors::Governor& governor) {
+void InferenceEngine::execute_cpu_work(double ops) {
     while (ops > kWorkEpsilon) {
         const double throughput = device_.cpu_throughput();
-        const double t_need = ops / throughput;
-        const double h = std::min(t_need, cfg_.max_slice_s);
-        advance_slice(h, 1.0, 0.0, governor);
+        const double t_need = std::min(ops / throughput, cfg_.max_slice_s);
+        // advance_work returns early if the granted frequency changed, so
+        // `throughput` is exact over the h it reports.
+        const double h = device_.advance_work(t_need, 1.0, 0.0);
         ops -= h * throughput;
     }
 }
 
-void InferenceEngine::execute_gpu_work(double ops, double bytes,
-                                       governors::Governor& governor) {
+void InferenceEngine::execute_gpu_work(double ops, double bytes) {
     while (ops > kWorkEpsilon || bytes > kWorkEpsilon) {
         const double throughput = device_.gpu_throughput();
         const double bw = device_.mem_bandwidth();
         const double t_need = ops / throughput + bytes / bw;
-        const double h = std::min(t_need, cfg_.max_slice_s);
+        const double t_slice = std::min(t_need, cfg_.max_slice_s);
+        const double h = device_.advance_work(t_slice, cfg_.cpu_util_during_gpu, 1.0);
         const double frac = h / t_need;
-        advance_slice(h, cfg_.cpu_util_during_gpu, 1.0, governor);
         ops -= ops * frac;
         bytes -= bytes * frac;
     }
@@ -118,12 +141,8 @@ void InferenceEngine::run_idle(double duration_s, governors::Governor& governor)
     if (duration_s < 0.0) {
         throw std::invalid_argument("run_idle: negative duration");
     }
-    double remaining = duration_s;
-    while (remaining > 0.0) {
-        const double h = std::min(remaining, cfg_.max_slice_s);
-        advance_slice(h, cfg_.idle_cpu_util, 0.0, governor);
-        remaining -= h;
-    }
+    bind(governor);
+    device_.advance(duration_s, cfg_.idle_cpu_util, 0.0);
 }
 
 FrameResult InferenceEngine::run_frame(const detector::DetectorModel& model,
@@ -137,6 +156,7 @@ FrameResult InferenceEngine::run_frame(const detector::DetectorModel& model,
     if (queue_wait_s < 0.0) {
         throw std::invalid_argument("run_frame: negative queue wait");
     }
+    bind(governor);
 
     FrameResult result;
     result.iteration = iteration;
@@ -153,7 +173,7 @@ FrameResult InferenceEngine::run_frame(const detector::DetectorModel& model,
     const auto obs_start = make_observation(iteration, latency_constraint_s, queue_wait_s,
                                             -1, queue_wait_s);
     const auto req_start = governor.on_frame_start(obs_start);
-    charge_decision_overhead(governor);
+    charge_decision_overhead();
     apply(req_start);
     result.cpu_level_stage1 = device_.cpu_level();
     result.gpu_level_stage1 = device_.gpu_level();
@@ -161,9 +181,8 @@ FrameResult InferenceEngine::run_frame(const detector::DetectorModel& model,
     // --- stage 1: pre-processing -> backbone -> RPN -------------------------
     for (const auto& component :
          model.stage1_components(frame.resolution_scale, frame.complexity)) {
-        execute_cpu_work(component.cpu_ops * frame.jitter, governor);
-        execute_gpu_work(component.gpu_ops * frame.jitter, component.mem_bytes * frame.jitter,
-                         governor);
+        execute_cpu_work(component.cpu_ops * frame.jitter);
+        execute_gpu_work(component.gpu_ops * frame.jitter, component.mem_bytes * frame.jitter);
     }
     result.stage1_s = device_.now() - t0;
 
@@ -176,7 +195,7 @@ FrameResult InferenceEngine::run_frame(const detector::DetectorModel& model,
                              queue_wait_s + (device_.now() - t0), proposals_used,
                              queue_wait_s);
         const auto req_rpn = governor.on_post_rpn(obs_rpn);
-        charge_decision_overhead(governor);
+        charge_decision_overhead();
         apply(req_rpn);
     }
     result.cpu_level_stage2 = device_.cpu_level();
@@ -184,9 +203,8 @@ FrameResult InferenceEngine::run_frame(const detector::DetectorModel& model,
 
     // --- stage 2: RoI head (+mask) -> post-processing -----------------------
     for (const auto& component : model.stage2_components(proposals_used)) {
-        execute_cpu_work(component.cpu_ops * frame.jitter, governor);
-        execute_gpu_work(component.gpu_ops * frame.jitter, component.mem_bytes * frame.jitter,
-                         governor);
+        execute_cpu_work(component.cpu_ops * frame.jitter);
+        execute_gpu_work(component.gpu_ops * frame.jitter, component.mem_bytes * frame.jitter);
     }
 
     result.latency_s = device_.now() - t0;
@@ -194,7 +212,7 @@ FrameResult InferenceEngine::run_frame(const detector::DetectorModel& model,
     result.cpu_temp = device_.cpu_temp();
     result.gpu_temp = device_.gpu_temp();
     result.energy_j = device_.energy_joules() - e0;
-    result.throttled = frame_saw_throttle_;
+    result.throttled = frame_saw_throttle_ || device_.throttled();
 
     governors::FrameOutcome outcome;
     outcome.iteration = iteration;

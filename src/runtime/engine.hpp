@@ -3,11 +3,14 @@
 //
 // The engine is the "client" side of the paper's architecture: it runs the
 // detector pipeline stage by stage, calls the governor at the two decision
-// points (frame start, post-RPN), charges agent communication overhead to
-// the frame, and fires kernel ticks for timer-driven governors. Work is
-// integrated in small time slices so that DVFS changes (from governor ticks
-// or the thermal throttler) take effect *mid-stage*, exactly as they do on
-// hardware.
+// points (frame start, post-RPN) and charges agent communication overhead
+// to the frame. Time only moves through EdgeDevice::advance; the engine
+// registers itself as the device's AdvanceListener, so kernel ticks fire at
+// their exact cadence and throttle flips are observed for *all* advanced
+// time -- work slices, idle gaps, decision overhead and DVFS transitions
+// alike. Work accounting is exact: the device interrupts a work slice the
+// moment the granted frequency changes (advance_work), so the throughput
+// sampled at the top of a slice holds for the whole interval it covers.
 
 #include <cstddef>
 
@@ -19,9 +22,12 @@
 namespace lotus::runtime {
 
 struct EngineConfig {
-    /// Maximum work-integration slice [s]; bounds the error of frequency
-    /// changes landing mid-slice.
-    double max_slice_s = 0.02;
+    /// Upper bound on one work-integration slice [s]. A guard only: work
+    /// accounting and kernel-tick delivery are exact for any value (the
+    /// device splits time at frequency changes, tick deadlines and throttle
+    /// polls), so this merely caps how much work the engine commits to one
+    /// throughput sample.
+    double max_slice_s = 0.25;
     /// CPU utilization while the GPU executes (host thread, kernel launches).
     double cpu_util_during_gpu = 0.15;
     /// CPU utilization while idle / waiting for the agent.
@@ -55,9 +61,14 @@ struct FrameResult {
     [[nodiscard]] double e2e_latency_s() const noexcept { return queue_wait_s + latency_s; }
 };
 
-class InferenceEngine {
+class InferenceEngine final : private platform::AdvanceListener {
 public:
+    /// Registers the engine as `device`'s advance listener for its lifetime
+    /// (one engine per device).
     InferenceEngine(platform::EdgeDevice& device, EngineConfig config = {});
+    ~InferenceEngine() override;
+    InferenceEngine(const InferenceEngine&) = delete;
+    InferenceEngine& operator=(const InferenceEngine&) = delete;
 
     /// Execute one frame under the given governor and latency constraint.
     /// `queue_wait_s` is delay already suffered before execution (serving
@@ -84,20 +95,27 @@ public:
     [[nodiscard]] const EngineConfig& config() const noexcept { return cfg_; }
 
 private:
+    // --- platform::AdvanceListener (tick delivery + throttle observation) --
+    [[nodiscard]] double next_event_s() const override;
+    void on_event(double now_s, double cpu_util, double gpu_util) override;
+    void on_throttle(double now_s, bool cpu_engaged, bool gpu_engaged) override;
+
+    /// Bind the governor for the current run_frame/run_idle scope and lazily
+    /// initialise the tick phase.
+    void bind(governors::Governor& governor);
+
     [[nodiscard]] governors::Observation make_observation(std::size_t iteration,
                                                           double constraint_s,
                                                           double elapsed_s, int proposals,
                                                           double queue_wait_s) const;
     void apply(const governors::LevelRequest& request);
-    void charge_decision_overhead(governors::Governor& governor);
-    /// Advance device by h while tracking ticks and the throttle flag.
-    void advance_slice(double h, double cpu_util, double gpu_util,
-                       governors::Governor& governor);
-    void execute_cpu_work(double ops, governors::Governor& governor);
-    void execute_gpu_work(double ops, double bytes, governors::Governor& governor);
+    void charge_decision_overhead();
+    void execute_cpu_work(double ops);
+    void execute_gpu_work(double ops, double bytes);
 
     platform::EdgeDevice& device_;
     EngineConfig cfg_;
+    governors::Governor* gov_ = nullptr;
     double last_latency_ = 0.0;
     double next_tick_due_ = 0.0;
     bool tick_initialized_ = false;

@@ -82,7 +82,9 @@ Summary Trace::summary(std::size_t first, std::size_t last) const {
         device_temp.add(dev);
         max_dev_temp = std::max(max_dev_temp, dev);
         proposals.add(static_cast<double>(r.proposals));
-        if (r.latency_s < r.constraint_s) ++satisfied;
+        // "<= is satisfied": the same boundary rule as util::satisfaction_rate
+        // and the serving layer's miss accounting.
+        if (r.latency_s <= r.constraint_s) ++satisfied;
         if (r.throttled) ++throttled;
         energy += r.energy_j;
         wall += r.latency_s;

@@ -156,7 +156,7 @@ ServingTrace ServingEngine::run(governors::Governor& governor) const {
         row.service_s = result.latency_s;
         row.e2e_s = result.e2e_latency_s();
         row.slo_s = req.slo_s;
-        row.missed = row.e2e_s > req.slo_s;
+        row.missed = !slo_satisfied(row.e2e_s, req.slo_s);
         row.throttled = result.throttled;
         row.proposals = result.proposals_used;
         row.cpu_temp = result.cpu_temp;
@@ -173,6 +173,7 @@ ServingTrace ServingEngine::run(governors::Governor& governor) const {
     trace.set_makespan(device.now());
     trace.set_total_energy(device.energy_joules());
     trace.set_max_queue_depth(queue.max_depth());
+    trace.set_thermal_steps(device.thermal_steps());
     return trace;
 }
 

@@ -44,9 +44,10 @@ ServingSummary ServingTrace::summarize(const std::vector<const ServingRecord*>& 
         if (r->missed) ++s.missed;
     }
     if (!served_e2e_ms.empty()) {
-        s.p50_ms = util::percentile(served_e2e_ms, 50.0);
-        s.p95_ms = util::percentile(served_e2e_ms, 95.0);
-        s.p99_ms = util::percentile(served_e2e_ms, 99.0);
+        const auto pct = util::percentiles(std::move(served_e2e_ms), {50.0, 95.0, 99.0});
+        s.p50_ms = pct[0];
+        s.p95_ms = pct[1];
+        s.p99_ms = pct[2];
     }
     s.mean_wait_ms = wait_ms.mean();
     s.miss_rate = static_cast<double>(s.missed) / static_cast<double>(s.requests);

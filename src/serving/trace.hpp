@@ -9,10 +9,18 @@
 // throughput) rather than the paper's (mean, sigma, R_L).
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace lotus::serving {
+
+/// The single SLO boundary rule of the repo: a request exactly on its SLO
+/// meets it ("<= limit is satisfied", matching util::satisfaction_rate and
+/// runtime::Trace::summary).
+[[nodiscard]] inline bool slo_satisfied(double e2e_s, double slo_s) noexcept {
+    return e2e_s <= slo_s;
+}
 
 /// Ledger entry for one request (served or shed).
 struct ServingRecord {
@@ -89,6 +97,10 @@ public:
     [[nodiscard]] double total_energy_j() const noexcept { return total_energy_j_; }
     void set_max_queue_depth(std::size_t depth) noexcept { max_queue_depth_ = depth; }
     [[nodiscard]] std::size_t max_queue_depth() const noexcept { return max_queue_depth_; }
+    /// Thermal integration steps the device spent over the run (set by the
+    /// serving engine; bench_overhead's stepper comparison reads it).
+    void set_thermal_steps(std::uint64_t steps) noexcept { thermal_steps_ = steps; }
+    [[nodiscard]] std::uint64_t thermal_steps() const noexcept { return thermal_steps_; }
 
     /// Summary over one stream index.
     [[nodiscard]] ServingSummary stream_summary(std::size_t stream) const;
@@ -114,6 +126,7 @@ private:
     double makespan_s_ = 0.0;
     double total_energy_j_ = 0.0;
     std::size_t max_queue_depth_ = 0;
+    std::uint64_t thermal_steps_ = 0;
 };
 
 } // namespace lotus::serving

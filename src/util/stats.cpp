@@ -87,22 +87,40 @@ double WindowedStats::stddev() const noexcept {
     return std::sqrt(acc / static_cast<double>(n));
 }
 
-double percentile(std::vector<double> values, double p) {
-    if (values.empty()) throw std::invalid_argument("percentile: empty input");
+namespace {
+
+/// Interpolated percentile over an already-sorted series.
+double sorted_percentile(const std::vector<double>& sorted, double p) {
     p = std::clamp(p, 0.0, 100.0);
-    std::sort(values.begin(), values.end());
-    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
     const auto lo = static_cast<std::size_t>(std::floor(rank));
     const auto hi = static_cast<std::size_t>(std::ceil(rank));
     const double frac = rank - static_cast<double>(lo);
-    return values[lo] + (values[hi] - values[lo]) * frac;
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+} // namespace
+
+double percentile(std::vector<double> values, double p) {
+    if (values.empty()) throw std::invalid_argument("percentile: empty input");
+    std::sort(values.begin(), values.end());
+    return sorted_percentile(values, p);
+}
+
+std::vector<double> percentiles(std::vector<double> values, const std::vector<double>& ps) {
+    if (values.empty()) throw std::invalid_argument("percentiles: empty input");
+    std::sort(values.begin(), values.end());
+    std::vector<double> out;
+    out.reserve(ps.size());
+    for (const double p : ps) out.push_back(sorted_percentile(values, p));
+    return out;
 }
 
 double satisfaction_rate(const std::vector<double>& values, double limit) noexcept {
     if (values.empty()) return 0.0;
     std::size_t ok = 0;
     for (const double v : values) {
-        if (v < limit) ++ok;
+        if (v <= limit) ++ok;
     }
     return static_cast<double>(ok) / static_cast<double>(values.size());
 }

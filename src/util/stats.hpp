@@ -64,8 +64,17 @@ private:
 /// interpolation). p in [0, 100].
 [[nodiscard]] double percentile(std::vector<double> values, double p);
 
-/// Fraction of samples satisfying x < limit; the satisfaction rate R_L of
-/// Tables 1-2. Returns 0 for an empty range.
+/// Several percentiles over ONE sort of the data: returns one value per
+/// entry of `ps` (each clamped to [0, 100]), in the same order, each equal
+/// to what percentile(values, p) would return. Use this instead of repeated
+/// percentile() calls when extracting p50/p95/p99 from the same series.
+[[nodiscard]] std::vector<double> percentiles(std::vector<double> values,
+                                              const std::vector<double>& ps);
+
+/// Fraction of samples satisfying x <= limit; the satisfaction rate R_L of
+/// Tables 1-2. A sample exactly on the limit is satisfied -- the same
+/// boundary rule as the serving layer's SLO accounting (missed means
+/// e2e > slo). Returns 0 for an empty range.
 [[nodiscard]] double satisfaction_rate(const std::vector<double>& values, double limit) noexcept;
 
 /// Pearson correlation of two equal-length series (0 if degenerate).

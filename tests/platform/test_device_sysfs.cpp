@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "platform/device.hpp"
 #include "platform/presets.hpp"
@@ -121,6 +122,101 @@ TEST(EdgeDevice, AmbientShiftsTemperatures) {
     warm.advance(50.0, 0.5, 0.5);
     cold.advance(50.0, 0.5, 0.5);
     EXPECT_GT(warm.gpu_temp(), cold.gpu_temp() + 10.0);
+}
+
+/// Records event/throttle callbacks with a fixed-cadence deadline.
+class RecordingListener final : public AdvanceListener {
+public:
+    explicit RecordingListener(double interval_s) : interval_s_(interval_s), due_(interval_s) {}
+    [[nodiscard]] double next_event_s() const override { return due_; }
+    void on_event(double now_s, double, double) override {
+        events.push_back(now_s);
+        due_ += interval_s_;
+    }
+    void on_throttle(double now_s, bool, bool) override { throttles.push_back(now_s); }
+
+    std::vector<double> events;
+    std::vector<double> throttles;
+
+private:
+    double interval_s_;
+    double due_;
+};
+
+TEST(EdgeDevice, SingleAdvanceAuthorityCoversDvfsTransitions) {
+    // request_levels used to advance the clock without notifying anyone;
+    // now the transition runs through the same event-driven loop, so
+    // listener deadlines inside the stall are honoured at their exact time.
+    auto spec = orin_nano_spec();
+    spec.dvfs_latency_s = 0.2;
+    EdgeDevice dev(spec);
+    RecordingListener listener(0.07);
+    dev.set_advance_listener(&listener);
+
+    dev.request_levels(1, 1); // 0.2 s stall
+    ASSERT_EQ(listener.events.size(), 2u); // t = 0.07, 0.14
+    EXPECT_NEAR(listener.events[0], 0.07, 1e-12);
+    EXPECT_NEAR(listener.events[1], 0.14, 1e-12);
+    EXPECT_NEAR(dev.now(), 0.2, 1e-12);
+}
+
+TEST(EdgeDevice, ListenerSeesThrottleEngagementAtPollInstants) {
+    auto dev = make_orin();
+    RecordingListener listener(1e9); // no events, throttle callbacks only
+    dev.set_advance_listener(&listener);
+    for (int i = 0; i < 400 && listener.throttles.empty(); ++i) dev.advance(1.0, 0.3, 1.0);
+    ASSERT_FALSE(listener.throttles.empty());
+    // Throttle decisions happen on the 100 ms poll grid.
+    EXPECT_NEAR(std::remainder(listener.throttles.front(), 0.1), 0.0, 1e-9);
+    EXPECT_TRUE(dev.throttled());
+}
+
+TEST(EdgeDevice, AdvanceWorkStopsAtGrantedLevelChange) {
+    auto dev = make_orin();
+    // Run hot in long requested slices: advance_work must return early the
+    // moment a throttle poll changes a granted level, so a caller's sampled
+    // throughput stays valid over the returned interval.
+    bool saw_early_return = false;
+    for (int i = 0; i < 500 && !saw_early_return; ++i) {
+        const auto cpu_before = dev.cpu_level();
+        const auto gpu_before = dev.gpu_level();
+        const double h = dev.advance_work(5.0, 0.3, 1.0);
+        ASSERT_GT(h, 0.0);
+        if (h < 5.0 - 1e-9) {
+            saw_early_return = true;
+            // Early return must coincide with a granted-level change.
+            EXPECT_TRUE(dev.cpu_level() != cpu_before || dev.gpu_level() != gpu_before);
+            // ... at a throttle-poll instant.
+            EXPECT_NEAR(std::remainder(dev.now(), 0.1), 0.0, 1e-9);
+        }
+    }
+    EXPECT_TRUE(saw_early_return);
+    EXPECT_TRUE(dev.throttled());
+}
+
+TEST(EdgeDevice, SubNanosecondAdvanceStillMakesProgress) {
+    // Residual work slices can be arbitrarily small (an event boundary
+    // landing just before a stage end); the advance loop must burn them
+    // rather than returning 0 elapsed, or work-integration loops would spin.
+    auto dev = make_orin();
+    const double h = dev.advance_work(1e-13, 1.0, 0.0);
+    EXPECT_DOUBLE_EQ(h, 1e-13);
+    EXPECT_GT(dev.now(), 0.0);
+}
+
+TEST(EdgeDevice, ClosedFormAndEulerSteppingAgree) {
+    auto closed_spec = orin_nano_spec();
+    auto euler_spec = orin_nano_spec();
+    euler_spec.thermal_stepping = ThermalStepping::euler_slice;
+    EdgeDevice closed(closed_spec);
+    EdgeDevice euler(euler_spec);
+    for (auto* dev : {&closed, &euler}) {
+        dev->request_levels(5, 3);
+        dev->advance(30.0, 0.3, 0.8);
+    }
+    EXPECT_NEAR(closed.gpu_temp(), euler.gpu_temp(), 0.05);
+    EXPECT_NEAR(closed.cpu_temp(), euler.cpu_temp(), 0.05);
+    EXPECT_LT(closed.thermal_steps() * 3, euler.thermal_steps());
 }
 
 TEST(EdgeDevice, ResetRestoresColdStart) {

@@ -112,6 +112,104 @@ TEST(ThermalNetwork, SubstepIndependence) {
 }
 
 // ---------------------------------------------------------------------------
+// Closed-form exponential stepper.
+// ---------------------------------------------------------------------------
+
+TEST(ThermalNetworkExact, MatchesEulerReference) {
+    ThermalNetwork euler(default_params());
+    ThermalNetwork exact(default_params());
+    euler.reset(25.0);
+    exact.reset(25.0);
+    const std::array<double, kNumThermalNodes> power{2.0, 8.0, 0.0};
+    euler.step(10.0, power, 25.0);   // 2000 Euler sub-steps
+    exact.step_exact(10.0, power, 25.0); // ONE step
+    for (std::size_t i = 0; i < kNumThermalNodes; ++i) {
+        EXPECT_NEAR(exact.temperatures()[i], euler.temperatures()[i], 5e-3);
+    }
+}
+
+TEST(ThermalNetworkExact, IsTimeAdditive) {
+    // The exact solution forms a semigroup: stepping 3 s then 7 s equals one
+    // 10 s step to machine precision -- the property Euler only approximates.
+    ThermalNetwork a(default_params());
+    ThermalNetwork b(default_params());
+    a.reset(25.0);
+    b.reset(25.0);
+    const std::array<double, kNumThermalNodes> power{3.0, 12.0, 0.0};
+    a.step_exact(3.0, power, 25.0);
+    a.step_exact(7.0, power, 25.0);
+    b.step_exact(10.0, power, 25.0);
+    for (std::size_t i = 0; i < kNumThermalNodes; ++i) {
+        EXPECT_NEAR(a.temperatures()[i], b.temperatures()[i], 1e-9);
+    }
+}
+
+TEST(ThermalNetworkExact, ConvergesToSteadyStateInOneStep) {
+    ThermalNetwork net(default_params());
+    net.reset(25.0);
+    const std::array<double, kNumThermalNodes> power{2.0, 8.0, 0.0};
+    const auto expected = net.steady_state(power, 25.0);
+    net.step_exact(1e6, power, 25.0);
+    for (std::size_t i = 0; i < kNumThermalNodes; ++i) {
+        EXPECT_NEAR(net.temperatures()[i], expected[i], 1e-9);
+    }
+}
+
+TEST(ThermalNetworkExact, DriftBoundIsHonored) {
+    ThermalNetwork net(default_params());
+    net.reset(25.0);
+    const std::array<double, kNumThermalNodes> power{3.0, 12.0, 0.0};
+    // Walk towards steady state in bound-sized steps; no step may drift any
+    // node more than the requested delta.
+    for (int i = 0; i < 50; ++i) {
+        const double h = net.max_step_for_drift(power, 25.0, 0.5);
+        if (std::isinf(h)) break;
+        ASSERT_GT(h, 0.0);
+        const auto before = net.temperatures();
+        net.step_exact(h, power, 25.0);
+        for (std::size_t n = 0; n < kNumThermalNodes; ++n) {
+            EXPECT_LE(std::abs(net.temperatures()[n] - before[n]), 0.5 + 1e-9);
+        }
+    }
+}
+
+TEST(ThermalNetworkExact, DriftBoundInfiniteAtSteadyState) {
+    ThermalNetwork net(default_params());
+    net.reset(25.0);
+    const std::array<double, kNumThermalNodes> power{2.0, 8.0, 0.0};
+    net.step_exact(1e9, power, 25.0);
+    EXPECT_TRUE(std::isinf(net.max_step_for_drift(power, 25.0, 0.25)));
+}
+
+TEST(ThermalNetworkExact, StepCounters) {
+    ThermalNetwork net(default_params());
+    net.reset(25.0);
+    EXPECT_EQ(net.steps(), 0u);
+    net.step(1.0, {1, 1, 0}, 25.0); // 200 Euler sub-steps at max_dt = 5 ms
+    EXPECT_EQ(net.steps(), 200u);
+    net.step_exact(1.0, {1, 1, 0}, 25.0);
+    EXPECT_EQ(net.steps(), 201u);
+    net.reset(25.0);
+    EXPECT_EQ(net.steps(), 0u);
+}
+
+TEST(ThermalNetworkExact, IsolatedNetworkFallsBackToEuler) {
+    // Without any path to ambient the system is singular (no steady state);
+    // step_exact must fall back to Euler instead of dividing by zero.
+    auto p = default_params();
+    p.g_to_ambient = {0.0, 0.0, 0.0};
+    ThermalNetwork net(p);
+    net.reset(25.0);
+    net.step_exact(1.0, {1.0, 1.0, 0.0}, 25.0);
+    for (const double t : net.temperatures()) {
+        EXPECT_TRUE(std::isfinite(t));
+        EXPECT_GT(t, 25.0); // heat with nowhere to go accumulates
+    }
+    EXPECT_EQ(net.steps(), 200u); // Euler sub-step count, not 1
+    EXPECT_TRUE(std::isinf(net.max_step_for_drift({1.0, 1.0, 0.0}, 25.0, 0.25)));
+}
+
+// ---------------------------------------------------------------------------
 // Throttler.
 // ---------------------------------------------------------------------------
 

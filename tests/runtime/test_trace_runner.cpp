@@ -64,6 +64,14 @@ TEST(Trace, PerRowConstraints) {
     EXPECT_NEAR(t.summary().satisfaction_rate, 0.5, 1e-12);
 }
 
+TEST(Trace, ExactBoundaryCountsAsSatisfied) {
+    // "<= is satisfied": same boundary rule as util::satisfaction_rate and
+    // the serving layer's slo_satisfied.
+    Trace t;
+    t.add(make_row(0, 450, 450)); // exactly on the constraint
+    EXPECT_NEAR(t.summary().satisfaction_rate, 1.0, 1e-12);
+}
+
 TEST(Trace, ColumnExtraction) {
     Trace t;
     t.add(make_row(0, 400));

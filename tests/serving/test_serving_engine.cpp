@@ -6,12 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 
 #include "governors/linux_governors.hpp"
 #include "platform/presets.hpp"
 #include "serving/engine.hpp"
 #include "serving/scheduler.hpp"
+#include "util/stats.hpp"
 
 namespace lotus::serving {
 namespace {
@@ -187,6 +189,24 @@ TEST(ServingEngine, AdmissionControlShedsUnderOverloadFifoDoesNot) {
     EXPECT_GT(admit_trace.aggregate().shed, 0u);
     // Shedding must not lose requests: ledger still covers the full load.
     EXPECT_EQ(admit_trace.size(), 30u);
+}
+
+TEST(SloBoundary, ExactlyOnSloIsSatisfied) {
+    // One boundary rule across the repo: "<= limit is satisfied". The
+    // serving ledger (missed = !slo_satisfied) and the experiment tables
+    // (util::satisfaction_rate) must agree on the exact-boundary case.
+    EXPECT_TRUE(slo_satisfied(2.0, 2.0));
+    EXPECT_TRUE(slo_satisfied(1.999, 2.0));
+    EXPECT_FALSE(slo_satisfied(std::nextafter(2.0, 3.0), 2.0));
+    EXPECT_DOUBLE_EQ(util::satisfaction_rate({2.0}, 2.0), 1.0);
+    EXPECT_DOUBLE_EQ(util::satisfaction_rate({std::nextafter(2.0, 3.0)}, 2.0), 0.0);
+}
+
+TEST(ServingEngine, ReportsThermalSteps) {
+    const ServingEngine engine(base_config(1, 3, 0.5));
+    governors::FixedGovernor governor(5, 3);
+    const auto trace = engine.run(governor);
+    EXPECT_GT(trace.thermal_steps(), 0u);
 }
 
 TEST(ServingTrace, RejectsUnknownStreamIndex) {

@@ -189,12 +189,40 @@ TEST(Percentile, ClampsP) {
     EXPECT_DOUBLE_EQ(percentile(v, 150), 3.0);
 }
 
-TEST(SatisfactionRate, CountsStrictlyBelowLimit) {
-    // R_L counts l_i < L (Sec. 4.1.1 requirement (ii)).
+TEST(Percentiles, MatchesSingleCallsOverOneSort) {
+    const std::vector<double> v{9, 1, 5, 3, 7, 2, 8, 4, 6, 10};
+    const auto batch = percentiles(v, {0.0, 50.0, 95.0, 99.0, 100.0});
+    ASSERT_EQ(batch.size(), 5u);
+    EXPECT_DOUBLE_EQ(batch[0], percentile(v, 0.0));
+    EXPECT_DOUBLE_EQ(batch[1], percentile(v, 50.0));
+    EXPECT_DOUBLE_EQ(batch[2], percentile(v, 95.0));
+    EXPECT_DOUBLE_EQ(batch[3], percentile(v, 99.0));
+    EXPECT_DOUBLE_EQ(batch[4], percentile(v, 100.0));
+}
+
+TEST(Percentiles, PreservesRequestOrderAndClamps) {
+    const std::vector<double> v{1, 2, 3};
+    const auto out = percentiles(v, {150.0, -5.0});
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_DOUBLE_EQ(out[0], 3.0);
+    EXPECT_DOUBLE_EQ(out[1], 1.0);
+    EXPECT_TRUE(percentiles(v, {}).empty());
+}
+
+TEST(Percentiles, EmptyInputThrows) {
+    EXPECT_THROW((void)percentiles({}, {50.0}), std::invalid_argument);
+}
+
+TEST(SatisfactionRate, BoundaryCountsAsSatisfied) {
+    // The repo's single SLO boundary rule: "<= limit is satisfied", matching
+    // the serving layer's miss accounting (missed means e2e > slo).
     std::vector<double> v{0.1, 0.2, 0.3, 0.3, 0.5};
-    EXPECT_DOUBLE_EQ(satisfaction_rate(v, 0.3), 0.4);
+    EXPECT_DOUBLE_EQ(satisfaction_rate(v, 0.3), 0.8);
     EXPECT_DOUBLE_EQ(satisfaction_rate(v, 1.0), 1.0);
     EXPECT_DOUBLE_EQ(satisfaction_rate(v, 0.05), 0.0);
+    // The exact-boundary case: a sample precisely on the limit satisfies it.
+    EXPECT_DOUBLE_EQ(satisfaction_rate({0.5}, 0.5), 1.0);
+    EXPECT_DOUBLE_EQ(satisfaction_rate({std::nextafter(0.5, 1.0)}, 0.5), 0.0);
 }
 
 TEST(SatisfactionRate, EmptyIsZero) {
