@@ -88,17 +88,15 @@ int main() {
     scenario.name = "custom_governor_sandbox";
     scenario.title = "Custom governor sandbox";
     scenario.arms.push_back(harness::default_arm(spec));
-    scenario.arms.push_back(harness::ArmSpec{
-        .name = "budget-heuristic",
-        .make =
-            [t_safe = platform::reward_threshold_celsius(spec)](std::uint64_t)
+    {
+        harness::ArmSpec arm;
+        arm.name = "budget-heuristic";
+        arm.make = [t_safe = platform::reward_threshold_celsius(spec)](std::uint64_t)
             -> std::unique_ptr<governors::Governor> {
             return std::make_unique<BudgetGovernor>(t_safe);
-        },
-        .paper = std::nullopt,
-        .tweak = nullptr,
-        .serving_tweak = nullptr,
-    });
+        };
+        scenario.arms.push_back(std::move(arm));
+    }
     scenario.arms.push_back(harness::lotus_arm(spec));
 
     const harness::ExperimentHarness harness;

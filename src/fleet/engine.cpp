@@ -1,0 +1,442 @@
+#include "fleet/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+#include "fleet/router.hpp"
+#include "platform/presets.hpp"
+#include "runtime/engine.hpp"
+#include "serving/engine.hpp"
+#include "serving/queue.hpp"
+#include "serving/scheduler.hpp"
+#include "util/rng.hpp"
+#include "workload/dataset.hpp"
+
+namespace lotus::fleet {
+
+namespace {
+
+/// EWMA weight of the newest service-time sample in the per-device
+/// expected-service estimate (same constant as the serving engine).
+constexpr double kServiceEwma = 0.3;
+
+/// Clock-comparison tolerance (see serving/engine.cpp): the idle integrator
+/// sums slices, so a device clock can land a few ulps short of the instant
+/// it targeted.
+constexpr double kTimeEps = 1e-9;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A request staged on a device: routed, but only dispatchable once the
+/// device clock reaches `ready_s` (the routing or migration instant) --
+/// a migrated request must not execute on its new device at a local time
+/// before it logically left the old one.
+struct Staged {
+    serving::Request request;
+    double ready_s = 0.0;
+};
+
+/// One device slot at run time: the simulated device, its inference engine,
+/// its own governor and queue discipline, and the dispatcher-side bookkeeping
+/// the router reads.
+struct Worker {
+    Worker(const FleetDevice& slot, double ambient, const runtime::EngineConfig& engine_cfg,
+           std::unique_ptr<governors::Governor> gov, const std::string& scheduler_name)
+        : spec(&slot), device([&] {
+              auto s = slot.spec;
+              if (slot.ambient_overridden()) s.initial_ambient_celsius = slot.ambient_celsius;
+              return s;
+          }()),
+          engine(device, engine_cfg), governor(std::move(gov)),
+          scheduler(serving::make_scheduler(scheduler_name)) {
+        device.set_ambient(slot.ambient_overridden() ? slot.ambient_celsius : ambient);
+        device.reset(); // start in equilibrium with the (possibly overridden) ambient
+        observe_peak();
+    }
+
+    void observe_peak() {
+        peak_temp_c = std::max(peak_temp_c, std::max(device.cpu_temp(), device.gpu_temp()));
+    }
+
+    [[nodiscard]] std::size_t pending() const noexcept {
+        return queue.size() + inbox.size();
+    }
+
+    /// Earliest device-local time at which this worker can act (dispatch or
+    /// failure drain); +infinity when it has nothing pending.
+    [[nodiscard]] double next_event_s() const noexcept {
+        double t = kInf;
+        if (!queue.empty()) t = device.now();
+        for (const auto& s : inbox) {
+            t = std::min(t, std::max(device.now(), s.ready_s));
+        }
+        return t;
+    }
+
+    [[nodiscard]] bool alive(double now_s) const noexcept {
+        return now_s < spec->fail_at_s;
+    }
+
+    const FleetDevice* spec;
+    platform::EdgeDevice device;
+    runtime::InferenceEngine engine;
+    std::unique_ptr<governors::Governor> governor;
+    std::unique_ptr<serving::Scheduler> scheduler;
+    serving::RequestQueue queue;
+    std::vector<Staged> inbox;
+    double expected_service_s = 0.0;
+    std::size_t iteration = 0;
+    std::size_t max_depth = 0;
+    std::size_t migrations_out = 0;
+    double peak_temp_c = 0.0;
+    bool drained = false; // failure drain already executed
+};
+
+} // namespace
+
+FleetDevice make_device(std::string id, platform::DeviceSpec spec) {
+    return FleetDevice(std::move(id), std::move(spec));
+}
+
+void resize_pool(FleetConfig& config, std::size_t n) {
+    if (config.devices.empty()) {
+        throw std::invalid_argument("resize_pool: the pool has no template devices");
+    }
+    if (n == 0) throw std::invalid_argument("resize_pool: a fleet needs >= 1 device");
+    const auto base = config.devices;
+    if (config.devices.size() > n) {
+        config.devices.erase(config.devices.begin() + static_cast<std::ptrdiff_t>(n),
+                             config.devices.end());
+    }
+    for (std::size_t i = config.devices.size(); i < n; ++i) {
+        auto clone = base[i % base.size()];
+        clone.id = clone.id + "x" + std::to_string(i);
+        config.devices.push_back(std::move(clone));
+    }
+}
+
+FleetEngine::FleetEngine(FleetConfig config) : config_(std::move(config)) {
+    if (config_.devices.empty()) {
+        throw std::invalid_argument("FleetEngine: no devices configured");
+    }
+    std::set<std::string> ids;
+    for (const auto& d : config_.devices) {
+        if (d.id.empty()) throw std::invalid_argument("FleetEngine: device with empty id");
+        if (!ids.insert(d.id).second) {
+            throw std::invalid_argument("FleetEngine: duplicate device id '" + d.id + "'");
+        }
+    }
+    if (config_.streams.empty()) {
+        throw std::invalid_argument("FleetEngine: no streams configured");
+    }
+    for (const auto& s : config_.streams) {
+        if (s.requests == 0) {
+            throw std::invalid_argument("FleetEngine: stream '" + s.name +
+                                        "' emits zero requests");
+        }
+        if (s.slo_s <= 0.0) {
+            throw std::invalid_argument("FleetEngine: stream '" + s.name +
+                                        "' has a non-positive SLO");
+        }
+        (void)workload::dataset_by_name(s.dataset); // throws on unknown dataset
+    }
+    (void)serving::make_scheduler(config_.scheduler); // throws on unknown policy
+    (void)make_router(config_.router);                // throws on unknown router
+}
+
+std::vector<serving::Request> FleetEngine::build_requests() const {
+    return serving::build_request_timeline(config_.streams, config_.seed);
+}
+
+std::uint64_t FleetEngine::governor_seed(std::uint64_t governor_seed_root,
+                                         std::size_t index) const {
+    return util::derive_seed(governor_seed_root,
+                             "governor/" + config_.devices.at(index).id, index);
+}
+
+FleetTrace FleetEngine::run(const GovernorFactory& make_governor,
+                            std::uint64_t governor_seed_root) const {
+    const auto model = detector::make_detector(config_.detector);
+
+    // --- build the pool -----------------------------------------------------
+    std::vector<std::unique_ptr<Worker>> workers;
+    workers.reserve(config_.devices.size());
+    for (std::size_t i = 0; i < config_.devices.size(); ++i) {
+        const auto& slot = config_.devices[i];
+        workers.push_back(std::make_unique<Worker>(
+            slot, config_.ambient_celsius, config_.engine,
+            make_governor(slot.spec, governor_seed(governor_seed_root, i)),
+            config_.scheduler));
+    }
+
+    const auto slot_pretrain_constraint = [&](const FleetDevice& slot) {
+        if (slot.pretrain_constraint_s > 0.0) return slot.pretrain_constraint_s;
+        if (config_.pretrain_constraint_s > 0.0) return config_.pretrain_constraint_s;
+        return config_.streams.front().slo_s;
+    };
+
+    // --- per-device pre-training (not recorded; device-id-namespaced) ------
+    if (config_.pretrain_iterations > 0) {
+        const auto& warm = config_.streams.front();
+        for (std::size_t i = 0; i < workers.size(); ++i) {
+            auto& w = *workers[i];
+            // Non-learning governors need no warm-up (harness rule).
+            if (w.governor->decision_overhead_s() == 0.0) continue;
+            // Exactly the stream a per-device ServingEngine would draw with
+            // ServingConfig::instance = device id (ids are unique, so the
+            // namespace alone decorrelates identical twins).
+            workload::FrameStream stream(
+                workload::dataset_by_name(warm.dataset),
+                util::derive_seed(config_.seed,
+                                  w.spec->id + "/pretrain/" + warm.dataset, 0));
+            const double constraint = slot_pretrain_constraint(*w.spec);
+            for (std::size_t k = 0; k < config_.pretrain_iterations; ++k) {
+                w.engine.run_frame(model, stream.next(), *w.governor, constraint, k);
+            }
+            w.device.reset();
+            w.engine.reset();
+        }
+    }
+
+    // Governor-informed service prior: before a device completes its first
+    // request, the router estimates its pace from the calibrated single-frame
+    // constraint (per-device in heterogeneous pools).
+    for (auto& w : workers) {
+        w->expected_service_s = slot_pretrain_constraint(*w->spec);
+    }
+
+    const auto requests = build_requests();
+    std::vector<char> migrated(requests.size(), 0);
+
+    std::vector<std::string> device_names;
+    for (const auto& d : config_.devices) device_names.push_back(d.id);
+    std::vector<std::string> stream_names;
+    for (const auto& s : config_.streams) stream_names.push_back(s.name);
+    FleetTrace trace(std::move(device_names), std::move(stream_names));
+    trace.reserve(requests.size());
+
+    auto router = make_router(config_.router);
+
+    const auto record_shed = [&](const serving::Request& r, double now,
+                                 std::size_t device_index) {
+        serving::ServingRecord row;
+        row.request_id = r.id;
+        row.stream = r.stream;
+        row.arrival_s = r.arrival_s;
+        row.start_s = now;
+        row.queue_wait_s = std::max(0.0, now - r.arrival_s);
+        row.e2e_s = row.queue_wait_s;
+        row.slo_s = r.slo_s;
+        row.shed = true;
+        row.missed = true;
+        row.proposals = r.frame.proposals;
+        if (device_index != FleetRecord::kNoDevice) {
+            const auto& w = *workers[device_index];
+            row.cpu_temp = w.device.cpu_temp();
+            row.gpu_temp = w.device.gpu_temp();
+        }
+        trace.add(FleetRecord{std::move(row), device_index,
+                              migrated[r.id] != 0});
+    };
+
+    const auto make_views = [&](double now, std::size_t exclude) {
+        std::vector<DeviceView> views;
+        views.reserve(workers.size());
+        for (std::size_t i = 0; i < workers.size(); ++i) {
+            const auto& w = *workers[i];
+            DeviceView v;
+            v.index = i;
+            v.now_s = w.device.now();
+            v.cpu_temp_c = w.device.cpu_temp();
+            v.gpu_temp_c = w.device.gpu_temp();
+            v.headroom_c = std::min(
+                w.spec->spec.cpu_throttle.trip_celsius - v.cpu_temp_c,
+                w.spec->spec.gpu_throttle.trip_celsius - v.gpu_temp_c);
+            v.throttled = w.device.throttled();
+            v.queue_depth = w.pending();
+            v.expected_service_s = w.expected_service_s;
+            v.backlog_s = std::max(0.0, v.now_s - now) +
+                          static_cast<double>(v.queue_depth) * v.expected_service_s;
+            v.available = i != exclude && w.alive(now);
+            views.push_back(v);
+        }
+        return views;
+    };
+
+    /// Route one request at `now`; excluded device (migration source /
+    /// failed device) cannot be picked. Dispatcher-level shed when no live
+    /// device remains.
+    const auto route_request = [&](serving::Request req, double now, std::size_t exclude) {
+        const auto views = make_views(now, exclude);
+        const auto idx = router->route(views, req, now);
+        if (idx == Router::npos) {
+            record_shed(req, now, FleetRecord::kNoDevice);
+            return;
+        }
+        auto& w = *workers[idx];
+        w.inbox.push_back(Staged{std::move(req), now});
+        w.max_depth = std::max(w.max_depth, w.pending());
+    };
+
+    /// Pull every queued/staged request off `w` and re-route it across the
+    /// rest of the pool at time `now` (throttle migration or failure drain).
+    const auto migrate_off = [&](std::size_t index, double now) {
+        auto& w = *workers[index];
+        std::vector<serving::Request> displaced;
+        while (!w.queue.empty()) displaced.push_back(w.queue.take(0));
+        for (auto& s : w.inbox) displaced.push_back(std::move(s.request));
+        w.inbox.clear();
+        // Deterministic order: global arrival order, like the dispatcher's
+        // own timeline.
+        std::sort(displaced.begin(), displaced.end(),
+                  [](const serving::Request& a, const serving::Request& b) {
+                      return a.id < b.id;
+                  });
+        w.migrations_out += displaced.size();
+        for (auto& r : displaced) {
+            migrated[r.id] = 1;
+            route_request(std::move(r), now, index);
+        }
+    };
+
+    /// Serve one scheduling step on `w`: idle up to the event instant, move
+    /// ready staged requests into the scheduler-visible queue, pick, run.
+    const auto dispatch_one = [&](std::size_t index) {
+        auto& w = *workers[index];
+        const double target = w.next_event_s();
+        if (w.device.now() + kTimeEps < target) {
+            w.engine.run_idle(std::max(target - w.device.now(), kTimeEps), *w.governor);
+            w.observe_peak();
+        }
+        const double now = w.device.now();
+        for (std::size_t i = 0; i < w.inbox.size();) {
+            if (w.inbox[i].ready_s <= now + kTimeEps) {
+                w.queue.push(std::move(w.inbox[i].request));
+                w.inbox.erase(w.inbox.begin() + static_cast<std::ptrdiff_t>(i));
+            } else {
+                ++i;
+            }
+        }
+
+        auto decision = w.scheduler->pick(w.queue, now, w.expected_service_s);
+        for (auto& r : decision.shed) record_shed(r, now, index);
+        if (!decision.next) return;
+
+        serving::Request req = std::move(*decision.next);
+        const double wait = std::max(0.0, now - req.arrival_s);
+        const auto result = w.engine.run_frame(model, req.frame, *w.governor, req.slo_s,
+                                               w.iteration++, wait);
+        w.observe_peak();
+
+        serving::ServingRecord row;
+        row.request_id = req.id;
+        row.stream = req.stream;
+        row.arrival_s = req.arrival_s;
+        row.start_s = result.start_time_s;
+        row.queue_wait_s = wait;
+        row.service_s = result.latency_s;
+        row.e2e_s = result.e2e_latency_s();
+        row.slo_s = req.slo_s;
+        row.missed = !serving::slo_satisfied(row.e2e_s, req.slo_s);
+        row.throttled = result.throttled;
+        row.proposals = result.proposals_used;
+        row.cpu_temp = result.cpu_temp;
+        row.gpu_temp = result.gpu_temp;
+        row.energy_j = result.energy_j;
+        trace.add(FleetRecord{std::move(row), index, migrated[req.id] != 0});
+
+        w.expected_service_s = w.expected_service_s <= 0.0
+                                   ? result.latency_s
+                                   : (1.0 - kServiceEwma) * w.expected_service_s +
+                                         kServiceEwma * result.latency_s;
+
+        if (config_.migrate_on_throttle && result.throttled && w.pending() > 0) {
+            migrate_off(index, w.device.now());
+        }
+    };
+
+    // --- the dispatcher loop ------------------------------------------------
+    std::size_t next_arrival = 0;
+    const auto any_pending = [&] {
+        for (const auto& w : workers) {
+            if (w->pending() > 0) return true;
+        }
+        return false;
+    };
+
+    while (next_arrival < requests.size() || any_pending()) {
+        const double t_arr =
+            next_arrival < requests.size() ? requests[next_arrival].arrival_s : kInf;
+
+        // Earliest per-device event (dispatch or failure drain); device
+        // index breaks ties.
+        std::size_t best = Router::npos;
+        double t_evt = kInf;
+        for (std::size_t i = 0; i < workers.size(); ++i) {
+            const double t = workers[i]->next_event_s();
+            if (t < t_evt) {
+                t_evt = t;
+                best = i;
+            }
+        }
+
+        // Arrivals at time t are routed before dispatches at time t, the
+        // same boundary rule the single-device engine applies.
+        if (best != Router::npos && t_evt + kTimeEps < t_arr) {
+            auto& w = *workers[best];
+            if (!w.alive(std::max(t_evt, w.device.now()))) {
+                // The device is past its failure instant: withdraw it and
+                // re-route everything it still holds.
+                w.drained = true;
+                migrate_off(best, std::max(w.device.now(), w.spec->fail_at_s));
+            } else {
+                dispatch_one(best);
+            }
+            continue;
+        }
+
+        // Route the next arrival. Idle (and cool) every live, empty device
+        // up to the routing instant first, so the router reads pool
+        // temperatures evaluated at this arrival.
+        serving::Request req = requests[next_arrival++];
+        for (std::size_t i = 0; i < workers.size(); ++i) {
+            auto& w = *workers[i];
+            if (w.pending() == 0 && w.alive(t_arr) &&
+                w.device.now() + kTimeEps < t_arr) {
+                w.engine.run_idle(t_arr - w.device.now(), *w.governor);
+                w.observe_peak();
+            }
+            // A device whose failure instant has passed gives up its queue
+            // the moment the dispatcher acts at or after that instant.
+            if (!w.drained && !w.alive(t_arr) && w.pending() > 0) {
+                w.drained = true;
+                migrate_off(i, std::max(w.device.now(), w.spec->fail_at_s));
+            }
+        }
+        route_request(std::move(req), t_arr, Router::npos);
+    }
+
+    // --- close out ----------------------------------------------------------
+    double makespan = 0.0;
+    for (const auto& w : workers) makespan = std::max(makespan, w->device.now());
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+        auto& w = *workers[i];
+        DeviceStats stats;
+        stats.makespan_s = w.device.now();
+        stats.energy_j = w.device.energy_joules();
+        stats.peak_temp_c = w.peak_temp_c;
+        stats.max_queue_depth = std::max(w.max_depth, w.queue.max_depth());
+        stats.thermal_steps = w.device.thermal_steps();
+        stats.migrations_out = w.migrations_out;
+        // Withdrawn only if the failure instant fell inside the run horizon
+        // -- a fail_at_s beyond the makespan never took effect.
+        stats.failed = w.drained || w.spec->fail_at_s <= makespan;
+        trace.set_device_stats(i, stats);
+    }
+    trace.set_makespan(makespan);
+    return trace;
+}
+
+} // namespace lotus::fleet

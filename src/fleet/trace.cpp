@@ -1,0 +1,205 @@
+#include "fleet/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace lotus::fleet {
+
+FleetTrace::FleetTrace(std::vector<std::string> device_names,
+                       std::vector<std::string> stream_names)
+    : device_names_(std::move(device_names)), stream_names_(std::move(stream_names)),
+      device_stats_(device_names_.size()) {}
+
+void FleetTrace::add(FleetRecord record) {
+    if (record.device != FleetRecord::kNoDevice && record.device >= device_names_.size()) {
+        throw std::out_of_range("FleetTrace::add: unknown device index");
+    }
+    if (record.row.stream >= stream_names_.size()) {
+        throw std::out_of_range("FleetTrace::add: unknown stream index");
+    }
+    records_.push_back(std::move(record));
+}
+
+void FleetTrace::set_device_stats(std::size_t device, DeviceStats stats) {
+    device_stats_.at(device) = stats;
+}
+
+const DeviceStats& FleetTrace::device_stats(std::size_t device) const {
+    return device_stats_.at(device);
+}
+
+double FleetTrace::total_energy_j() const noexcept {
+    double total = 0.0;
+    for (const auto& d : device_stats_) total += d.energy_j;
+    return total;
+}
+
+double FleetTrace::peak_temp_c() const noexcept {
+    double peak = 0.0;
+    for (const auto& d : device_stats_) peak = std::max(peak, d.peak_temp_c);
+    return peak;
+}
+
+std::size_t FleetTrace::migrations() const noexcept {
+    std::size_t total = 0;
+    for (const auto& d : device_stats_) total += d.migrations_out;
+    return total;
+}
+
+double FleetTrace::load_skew() const {
+    std::vector<std::size_t> served(device_names_.size(), 0);
+    for (const auto& r : records_) {
+        if (r.device != FleetRecord::kNoDevice && !r.row.shed) ++served[r.device];
+    }
+    util::RunningStats stats;
+    for (std::size_t d = 0; d < served.size(); ++d) {
+        if (!device_stats_[d].failed) stats.add(static_cast<double>(served[d]));
+    }
+    const double mean = stats.mean();
+    return mean > 0.0 ? stats.stddev() / mean : 0.0;
+}
+
+serving::ServingSummary FleetTrace::summarize(const std::vector<const FleetRecord*>& rows,
+                                              std::string label) const {
+    serving::ServingSummary s;
+    s.stream = std::move(label);
+    s.requests = rows.size();
+    if (rows.empty()) return s;
+
+    std::vector<double> served_e2e_ms;
+    util::RunningStats wait_ms;
+    util::RunningStats device_temp;
+    double energy = 0.0;
+    for (const auto* r : rows) {
+        const double dev = 0.5 * (r->row.cpu_temp + r->row.gpu_temp);
+        device_temp.add(dev);
+        s.peak_device_temp_c = std::max(s.peak_device_temp_c, dev);
+        if (r->row.shed) {
+            ++s.shed;
+        } else {
+            ++s.served;
+            served_e2e_ms.push_back(r->row.e2e_s * 1e3);
+            wait_ms.add(r->row.queue_wait_s * 1e3);
+            energy += r->row.energy_j;
+        }
+        if (r->row.missed) ++s.missed;
+    }
+    if (!served_e2e_ms.empty()) {
+        const auto pct = util::percentiles(std::move(served_e2e_ms), {50.0, 95.0, 99.0});
+        s.p50_ms = pct[0];
+        s.p95_ms = pct[1];
+        s.p99_ms = pct[2];
+    }
+    s.mean_wait_ms = wait_ms.mean();
+    s.miss_rate = static_cast<double>(s.missed) / static_cast<double>(s.requests);
+    s.shed_rate = static_cast<double>(s.shed) / static_cast<double>(s.requests);
+    s.throughput_rps =
+        makespan_s_ > 0.0 ? static_cast<double>(s.served) / makespan_s_ : 0.0;
+    s.energy_per_req_j = s.served > 0 ? energy / static_cast<double>(s.served) : 0.0;
+    s.mean_device_temp_c = device_temp.mean();
+    return s;
+}
+
+serving::ServingSummary FleetTrace::aggregate() const {
+    std::vector<const FleetRecord*> rows;
+    rows.reserve(records_.size());
+    for (const auto& r : records_) rows.push_back(&r);
+    auto s = summarize(rows, "fleet");
+    // Charge the whole pool's energy (idle included) to the served load,
+    // and report the run-long fleet peak rather than the completion-time
+    // peak.
+    if (s.served > 0 && total_energy_j() > 0.0) {
+        s.energy_per_req_j = total_energy_j() / static_cast<double>(s.served);
+    }
+    s.peak_device_temp_c = std::max(s.peak_device_temp_c, peak_temp_c());
+    return s;
+}
+
+serving::ServingSummary FleetTrace::device_summary(std::size_t device) const {
+    if (device >= device_names_.size()) {
+        throw std::out_of_range("FleetTrace::device_summary: unknown device index");
+    }
+    std::vector<const FleetRecord*> rows;
+    for (const auto& r : records_) {
+        if (r.device == device) rows.push_back(&r);
+    }
+    auto s = summarize(rows, device_names_[device]);
+    const auto& stats = device_stats_[device];
+    s.peak_device_temp_c = std::max(s.peak_device_temp_c, stats.peak_temp_c);
+    if (s.served > 0 && stats.energy_j > 0.0) {
+        s.energy_per_req_j = stats.energy_j / static_cast<double>(s.served);
+    }
+    return s;
+}
+
+serving::ServingSummary FleetTrace::stream_summary(std::size_t stream) const {
+    if (stream >= stream_names_.size()) {
+        throw std::out_of_range("FleetTrace::stream_summary: unknown stream index");
+    }
+    std::vector<const FleetRecord*> rows;
+    for (const auto& r : records_) {
+        if (r.row.stream == stream) rows.push_back(&r);
+    }
+    return summarize(rows, stream_names_[stream]);
+}
+
+std::vector<serving::ServingSummary> FleetTrace::all_summaries() const {
+    std::vector<serving::ServingSummary> out;
+    out.reserve(1 + device_names_.size() + stream_names_.size());
+    out.push_back(aggregate());
+    for (std::size_t d = 0; d < device_names_.size(); ++d) {
+        out.push_back(device_summary(d));
+    }
+    for (std::size_t s = 0; s < stream_names_.size(); ++s) {
+        out.push_back(stream_summary(s));
+    }
+    return out;
+}
+
+std::vector<double> FleetTrace::e2e_ms() const {
+    std::vector<double> out;
+    out.reserve(records_.size());
+    for (const auto& r : records_) out.push_back(r.row.e2e_s * 1e3);
+    return out;
+}
+
+std::vector<double> FleetTrace::device_temps() const {
+    std::vector<double> out;
+    out.reserve(records_.size());
+    for (const auto& r : records_) out.push_back(0.5 * (r.row.cpu_temp + r.row.gpu_temp));
+    return out;
+}
+
+void FleetTrace::write_csv(const std::string& path) const {
+    util::CsvWriter csv(path, {"request_id", "stream", "device", "migrated", "arrival_s",
+                               "start_s", "queue_wait_ms", "service_ms", "e2e_ms", "slo_ms",
+                               "shed", "missed", "throttled", "proposals", "cpu_temp",
+                               "gpu_temp", "energy_j"});
+    for (const auto& r : records_) {
+        csv.row(std::vector<std::string>{
+            std::to_string(r.row.request_id),
+            stream_names_[r.row.stream],
+            r.device == FleetRecord::kNoDevice ? "-" : device_names_[r.device],
+            r.migrated ? "1" : "0",
+            util::format_double(r.row.arrival_s, 4),
+            util::format_double(r.row.start_s, 4),
+            util::format_double(r.row.queue_wait_s * 1e3, 3),
+            util::format_double(r.row.service_s * 1e3, 3),
+            util::format_double(r.row.e2e_s * 1e3, 3),
+            util::format_double(r.row.slo_s * 1e3, 3),
+            r.row.shed ? "1" : "0",
+            r.row.missed ? "1" : "0",
+            r.row.throttled ? "1" : "0",
+            std::to_string(r.row.proposals),
+            util::format_double(r.row.cpu_temp, 3),
+            util::format_double(r.row.gpu_temp, 3),
+            util::format_double(r.row.energy_j, 4),
+        });
+    }
+}
+
+} // namespace lotus::fleet

@@ -1,0 +1,122 @@
+#pragma once
+// Fleet-level request ledger and its summaries.
+//
+// The fleet analogue of serving::ServingTrace: one row per request with the
+// device it landed on (and whether it got there by migration), summarised
+// three ways -- fleet-wide, per device, per stream. Reuses the
+// serving::ServingSummary vocabulary (p50/p95/p99, miss/shed rates,
+// throughput, energy/request, peak temperature) so sinks speak one serving
+// language, and adds the fleet-only signals: load-balance skew across the
+// pool, migration counts, and the fleet peak temperature (max over devices,
+// tracked across the whole run -- idle cooling included -- not just at
+// request completions).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serving/trace.hpp"
+
+namespace lotus::fleet {
+
+/// Ledger entry for one request: the serving record plus fleet routing
+/// facts. device == kNoDevice marks a dispatcher-level shed (no live device
+/// was available to take the request).
+struct FleetRecord {
+    serving::ServingRecord row;
+    std::size_t device = 0;
+    /// The request was re-routed at least once (off a throttled or failed
+    /// device) before this terminal record.
+    bool migrated = false;
+
+    static constexpr std::size_t kNoDevice = static_cast<std::size_t>(-1);
+};
+
+/// Per-device facts the ledger rows cannot carry (set once by the engine).
+struct DeviceStats {
+    /// Device-local clock at the end of the run [s].
+    double makespan_s = 0.0;
+    /// Total device energy, idle included [J].
+    double energy_j = 0.0;
+    /// Peak device temperature over the whole run [deg C].
+    double peak_temp_c = 0.0;
+    std::size_t max_queue_depth = 0;
+    std::uint64_t thermal_steps = 0;
+    /// Requests re-routed *off* this device (throttle migration or failure
+    /// drain).
+    std::size_t migrations_out = 0;
+    /// The device was withdrawn (FleetDevice::fail_at_s) during the run.
+    bool failed = false;
+};
+
+class FleetTrace {
+public:
+    FleetTrace() = default;
+    FleetTrace(std::vector<std::string> device_names, std::vector<std::string> stream_names);
+
+    void add(FleetRecord record);
+    void reserve(std::size_t n) { records_.reserve(n); }
+
+    [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+    [[nodiscard]] const FleetRecord& operator[](std::size_t i) const { return records_[i]; }
+    [[nodiscard]] const std::vector<FleetRecord>& records() const noexcept {
+        return records_;
+    }
+    [[nodiscard]] const std::vector<std::string>& device_names() const noexcept {
+        return device_names_;
+    }
+    [[nodiscard]] const std::vector<std::string>& stream_names() const noexcept {
+        return stream_names_;
+    }
+
+    void set_device_stats(std::size_t device, DeviceStats stats);
+    [[nodiscard]] const DeviceStats& device_stats(std::size_t device) const;
+
+    /// Wall-clock span of the fleet run (max over device makespans) [s].
+    void set_makespan(double seconds) noexcept { makespan_s_ = seconds; }
+    [[nodiscard]] double makespan_s() const noexcept { return makespan_s_; }
+
+    /// Total pool energy, idle included [J].
+    [[nodiscard]] double total_energy_j() const noexcept;
+    /// Max over devices of the run-long peak temperature [deg C].
+    [[nodiscard]] double peak_temp_c() const noexcept;
+    /// Total requests re-routed off a device (throttle or failure).
+    [[nodiscard]] std::size_t migrations() const noexcept;
+    /// Load-balance skew: coefficient of variation (stddev / mean) of the
+    /// per-device served counts, over devices that were never withdrawn.
+    /// 0 = perfectly even; grows as placement concentrates load.
+    [[nodiscard]] double load_skew() const;
+
+    /// Fleet-wide summary (stream label "fleet"); energy/request charges the
+    /// whole pool's energy, idle burn included.
+    [[nodiscard]] serving::ServingSummary aggregate() const;
+    /// Summary over one device (labelled with the device id); peak
+    /// temperature is the run-long device peak, throughput uses the fleet
+    /// makespan.
+    [[nodiscard]] serving::ServingSummary device_summary(std::size_t device) const;
+    /// Summary over one client stream, across all devices it landed on.
+    [[nodiscard]] serving::ServingSummary stream_summary(std::size_t stream) const;
+    /// Aggregate, then one summary per device, then one per stream.
+    [[nodiscard]] std::vector<serving::ServingSummary> all_summaries() const;
+
+    // Column extraction for charts (request completion order).
+    [[nodiscard]] std::vector<double> e2e_ms() const;
+    [[nodiscard]] std::vector<double> device_temps() const;
+
+    /// Dump the per-request ledger (device + migration columns included).
+    void write_csv(const std::string& path) const;
+
+private:
+    [[nodiscard]] serving::ServingSummary summarize(
+        const std::vector<const FleetRecord*>& rows, std::string label) const;
+
+    std::vector<std::string> device_names_;
+    std::vector<std::string> stream_names_;
+    std::vector<FleetRecord> records_;
+    std::vector<DeviceStats> device_stats_;
+    double makespan_s_ = 0.0;
+};
+
+} // namespace lotus::fleet

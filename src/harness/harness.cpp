@@ -5,6 +5,7 @@
 #include <optional>
 #include <thread>
 
+#include "fleet/engine.hpp"
 #include "serving/engine.hpp"
 #include "util/rng.hpp"
 
@@ -29,6 +30,35 @@ EpisodeResult ExperimentHarness::run_episode(const Scenario& scenario,
     const auto episode_seed = util::derive_seed(config_.seed, scenario.name, arm_index);
     util::SplitMix64 sm(episode_seed);
     cfg.seed = sm.next();
+
+    if (scenario.fleet) {
+        auto fleet_cfg = *scenario.fleet;
+        if (arm.fleet_tweak) arm.fleet_tweak(fleet_cfg);
+        fleet_cfg.seed = cfg.seed;
+        // The factory is invoked once per device by the engine, with
+        // device-id-namespaced seeds derived from this root (the draw that
+        // seeds the single governor of non-fleet episodes). Spec-dependent
+        // arms provide make_for so each pool device gets a governor sized
+        // for its own ladder; spec-independent arms fall back to make.
+        const auto governor_root = sm.next();
+        fleet::FleetEngine::GovernorFactory factory;
+        if (arm.make_for) {
+            factory = arm.make_for;
+        } else {
+            factory = [&arm](const platform::DeviceSpec&, std::uint64_t seed) {
+                return arm.make(seed);
+            };
+        }
+        const fleet::FleetEngine engine(fleet_cfg);
+        auto trace = engine.run(factory, governor_root);
+        EpisodeResult result{scenario.name,    arm.name,
+                             episode_seed,     std::move(cfg),
+                             runtime::Trace{}, arm.paper,
+                             std::nullopt,     std::nullopt,
+                             std::move(fleet_cfg), std::move(trace)};
+        return result;
+    }
+
     auto governor = arm.make(sm.next());
 
     if (scenario.serving) {
@@ -42,7 +72,8 @@ EpisodeResult ExperimentHarness::run_episode(const Scenario& scenario,
         return EpisodeResult{scenario.name,    arm.name,
                              episode_seed,     std::move(cfg),
                              runtime::Trace{}, arm.paper,
-                             std::move(serving_cfg), std::move(trace)};
+                             std::move(serving_cfg), std::move(trace),
+                             std::nullopt,     std::nullopt};
     }
 
     // Non-learning governors need no warm-up; skipping it keeps sweeps fast.
@@ -52,7 +83,8 @@ EpisodeResult ExperimentHarness::run_episode(const Scenario& scenario,
     auto trace = runner.run(*governor);
     return EpisodeResult{scenario.name,  arm.name,         episode_seed,
                          std::move(cfg), std::move(trace), arm.paper,
-                         std::nullopt,   std::nullopt};
+                         std::nullopt,   std::nullopt,     std::nullopt,
+                         std::nullopt};
 }
 
 std::vector<EpisodeResult> ExperimentHarness::run(const Scenario& scenario) const {

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fleet/trace.hpp"
 #include "harness/scenario.hpp"
 #include "runtime/trace.hpp"
 #include "serving/trace.hpp"
@@ -48,8 +49,13 @@ struct EpisodeResult {
     /// per-request ledger produced by the ServingEngine.
     std::optional<serving::ServingConfig> serving_config;
     std::optional<serving::ServingTrace> serving_trace;
+    /// Fleet episodes only: the resolved fleet config and the per-request
+    /// ledger (with device placements) produced by the FleetEngine.
+    std::optional<fleet::FleetConfig> fleet_config;
+    std::optional<fleet::FleetTrace> fleet_trace;
 
     [[nodiscard]] bool is_serving() const noexcept { return serving_trace.has_value(); }
+    [[nodiscard]] bool is_fleet() const noexcept { return fleet_trace.has_value(); }
 };
 
 class ExperimentHarness {

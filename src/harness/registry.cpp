@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "fleet/engine.hpp"
 #include "platform/presets.hpp"
 #include "util/csv.hpp"
 #include "workload/presets.hpp"
@@ -100,6 +101,14 @@ workload::AmbientProfile mission_profile(std::size_t frames) {
 /// iteration budgets).
 std::size_t serve_requests() { return fast_mode() ? 25 : 150; }
 
+/// Requests per stream for the FLEET scenarios. Deliberately shorter than
+/// the single-device serving budget: the fleet scenarios study the
+/// transient regime where an airflow gradient leaves real headroom
+/// differences across the pool. Minutes of sustained overload drive every
+/// die to its trip point regardless of placement -- at that equilibrium no
+/// router can win anything, shedding policy is all that is left.
+std::size_t fleet_requests() { return fast_mode() ? 25 : 60; }
+
 serving::StreamSpec cam_stream(std::string name, std::string dataset, double slo_s,
                                std::size_t requests, serving::ArrivalSpec arrival) {
     serving::StreamSpec s;
@@ -133,6 +142,38 @@ Scenario serving_scenario(const platform::DeviceSpec& spec, std::string name,
         spec.name, DetectorKind::faster_rcnn, "KITTI");
     s.serving = std::move(cfg);
     return s;
+}
+
+/// Fleet-scenario shell: N devices behind a router; the caller appends
+/// streams, devices and arms. The classic config half still names a
+/// representative device/detector for arm factories and sinks.
+Scenario fleet_scenario(const platform::DeviceSpec& spec, std::string name,
+                        std::string title, std::string description,
+                        std::string scheduler) {
+    Scenario s(runtime::static_experiment(spec, DetectorKind::faster_rcnn, "KITTI", 1, 0));
+    s.name = std::move(name);
+    s.title = std::move(title);
+    s.description = std::move(description);
+    s.tags = {"serving", "fleet"};
+    fleet::FleetConfig cfg;
+    cfg.detector = DetectorKind::faster_rcnn;
+    cfg.scheduler = std::move(scheduler);
+    cfg.pretrain_iterations = pretrain_iterations();
+    cfg.pretrain_constraint_s = workload::latency_constraint_s(
+        spec.name, DetectorKind::faster_rcnn, "KITTI");
+    s.fleet = std::move(cfg);
+    return s;
+}
+
+/// A homogeneous pool of n copies of `spec`, ids <prefix>0..<prefix>n-1.
+std::vector<fleet::FleetDevice> device_pool(const platform::DeviceSpec& spec,
+                                            const std::string& prefix, std::size_t n) {
+    std::vector<fleet::FleetDevice> pool;
+    pool.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        pool.push_back(fleet::make_device(prefix + std::to_string(i), spec));
+    }
+    return pool;
 }
 
 /// Heatwave ambient: 25 C baseline, ramp to a mid-run peak, ramp back --
@@ -627,6 +668,133 @@ ScenarioRegistry::ScenarioRegistry() {
             }
             s.arms.push_back(default_arm(orin));
             s.arms.push_back(lotus_arm(orin));
+            scenarios_.push_back(std::move(s));
+        }
+    }
+
+    // --- Fleet scenarios (request routing across a device pool) ---------------
+    // The dispatcher multiplexes the merged stream timeline across N devices
+    // (per-device governors, queues and thermal state). One Orin sustains
+    // ~2.2-2.9 req/s on the FasterRCNN+KITTI cell, which calibrates the load
+    // points: "saturation" offers ~30% more than a 4-Orin pool sustains,
+    // "hetero" sizes to a mixed Orin/phone pool where *placement* decides
+    // tail latency, and the rest shape when and where the load lands.
+    {
+        const double slo = 0.9; // 2x the Orin single-frame constraint
+        const std::size_t n = fleet_requests();
+
+        {
+            Scenario s = fleet_scenario(
+                orin, "serve_fleet_saturation", "Fleet: homogeneous saturation",
+                "8 Poisson KITTI streams at ~9.6 req/s offered to a pool of 4 "
+                "identical Orin Nanos (right at pool capacity) racked in a "
+                "hot aisle with an airflow gradient (72C at the choked corner "
+                "down to 48C): blind placement feeds the hot corner more than "
+                "it can dissipate and its queue spirals, headroom-aware "
+                "placement gives it exactly the load it can carry. The "
+                "headline router comparison (bench_fleet).",
+                "edf_admit");
+            s.fleet->devices = device_pool(orin, "orin", 4);
+            // Rack-position ambient gradient: the devices are identical, the
+            // airflow is not -- which is exactly where placement decides
+            // whether a die trips.
+            for (std::size_t d = 0; d < 4; ++d) {
+                s.fleet->devices[d].ambient_celsius = 72.0 - 8.0 * static_cast<double>(d);
+            }
+            for (int i = 0; i < 8; ++i) {
+                s.fleet->streams.push_back(cam_stream(
+                    "cam" + std::to_string(i), "KITTI", slo, n,
+                    {.kind = serving::ArrivalKind::poisson, .rate_hz = 1.2,
+                     .phase_s = 0.11 * i}));
+            }
+            s.arms.push_back(fleet_arm(lotus_arm(orin), "round_robin"));
+            s.arms.push_back(fleet_arm(lotus_arm(orin), "least_queue"));
+            s.arms.push_back(fleet_arm(lotus_arm(orin), "thermal_aware"));
+            s.arms.push_back(fleet_arm(lotus_arm(orin), "lotus_fleet"));
+            s.arms.push_back(fleet_arm(performance_arm(), "round_robin"));
+            s.arms.push_back(fleet_arm(performance_arm(), "thermal_aware"));
+            scenarios_.push_back(std::move(s));
+        }
+        {
+            Scenario s = fleet_scenario(
+                orin, "serve_fleet_hetero", "Fleet: heterogeneous pool",
+                "2 Orin Nanos + 2 Mi 11 Lites (a ~4x per-frame speed gap) "
+                "serve 6 Poisson KITTI streams near pool capacity: blind "
+                "placement drowns the phones, backlog- and pace-aware routers "
+                "keep them useful for the load they can actually carry.",
+                "edf_admit");
+            const double mi11_l = workload::latency_constraint_s(
+                mi11.name, DetectorKind::faster_rcnn, "KITTI");
+            s.fleet->devices = device_pool(orin, "orin", 2);
+            for (std::size_t i = 0; i < 2; ++i) {
+                auto d = fleet::make_device("mi11_" + std::to_string(i), mi11);
+                d.pretrain_constraint_s = mi11_l;
+                s.fleet->devices.push_back(std::move(d));
+            }
+            // The SLO must leave room for a phone-served frame plus queueing.
+            const double hetero_slo = 2.0 * mi11_l;
+            for (int i = 0; i < 6; ++i) {
+                s.fleet->streams.push_back(cam_stream(
+                    "cam" + std::to_string(i), "KITTI", hetero_slo, n,
+                    {.kind = serving::ArrivalKind::poisson, .rate_hz = 0.9,
+                     .phase_s = 0.19 * i}));
+            }
+            s.arms.push_back(fleet_arm(lotus_arm(orin), "round_robin"));
+            s.arms.push_back(fleet_arm(lotus_arm(orin), "least_queue"));
+            s.arms.push_back(fleet_arm(lotus_arm(orin), "lotus_fleet"));
+            scenarios_.push_back(std::move(s));
+        }
+        {
+            Scenario s = fleet_scenario(
+                orin, "serve_fleet_diurnal_holdout", "Fleet: diurnal ramp with a failure",
+                "6 diurnal KITTI streams over 4 Orin Nanos; one device is "
+                "withdrawn at 40% of the run (failure / maintenance holdout) "
+                "and its queue re-routes to the survivors -- the pool must "
+                "absorb the peak with 3/4 of its capacity.",
+                "edf_admit");
+            s.fleet->devices = device_pool(orin, "orin", 4);
+            const double rate = 1.15;
+            // The timeline spans ~requests/rate seconds per stream; withdraw
+            // the device at 40% of that horizon.
+            s.fleet->devices[3].fail_at_s = 0.4 * static_cast<double>(n) / rate;
+            for (int i = 0; i < 6; ++i) {
+                s.fleet->streams.push_back(cam_stream(
+                    "cam" + std::to_string(i), "KITTI", slo, n,
+                    {.kind = serving::ArrivalKind::diurnal, .rate_hz = rate,
+                     .phase_s = 0.23 * i}));
+            }
+            s.arms.push_back(fleet_arm(lotus_arm(orin), "least_queue"));
+            s.arms.push_back(fleet_arm(lotus_arm(orin), "lotus_fleet"));
+            scenarios_.push_back(std::move(s));
+        }
+        {
+            Scenario s = fleet_scenario(
+                orin, "serve_fleet_burst_migration", "Fleet: burst storm, migration on/off",
+                "6 motion-triggered KITTI streams volley 10 requests at a "
+                "time into 3 Orin Nanos with badly skewed airflow (68C at "
+                "the choked corner). A blind round-robin keeps feeding the "
+                "hot corner until a volley bakes it past its trip; with "
+                "migration enabled, the trip drains the clamped device's "
+                "queue to the rest of the pool instead of serving the "
+                "backlog at clamp speed.",
+                "edf_admit");
+            s.fleet->devices = device_pool(orin, "orin", 3);
+            // Strong airflow gradient: the choked corner trips under volley
+            // load that the rest of the pool shrugs off -- the regime where
+            // migration pays (or does not; that is the arm comparison).
+            for (std::size_t d = 0; d < 3; ++d) {
+                s.fleet->devices[d].ambient_celsius = 68.0 - 10.0 * static_cast<double>(d);
+            }
+            for (int i = 0; i < 6; ++i) {
+                s.fleet->streams.push_back(cam_stream(
+                    "cam" + std::to_string(i), "KITTI", slo, n,
+                    {.kind = serving::ArrivalKind::bursty, .rate_hz = 1.2,
+                     .phase_s = 1.3 * i, .burst = 10}));
+            }
+            s.arms.push_back(fleet_arm(lotus_arm(orin), "round_robin"));
+            s.arms.push_back(fleet_arm(lotus_arm(orin), "round_robin", true));
+            s.arms.push_back(fleet_arm(performance_arm(), "round_robin"));
+            s.arms.push_back(fleet_arm(performance_arm(), "round_robin", true));
             scenarios_.push_back(std::move(s));
         }
     }

@@ -12,39 +12,55 @@ bool Scenario::has_tag(const std::string& tag) const {
     return std::find(tags.begin(), tags.end(), tag) != tags.end();
 }
 
-ArmSpec default_arm(const platform::DeviceSpec& spec) {
-    const bool orin = spec.name.find("orin") != std::string::npos;
-    return ArmSpec{
-        .name = "default",
-        .make =
-            [orin](std::uint64_t) -> std::unique_ptr<governors::Governor> {
-            return std::make_unique<governors::DefaultGovernor>(
-                orin ? governors::DefaultGovernor::orin_nano()
-                     : governors::DefaultGovernor::mi11_lite());
-        },
-        .paper = std::nullopt,
-        .tweak = nullptr,
-        .serving_tweak = nullptr,
+ArmSpec fleet_arm(ArmSpec base, const std::string& router, bool migrate) {
+    base.name += "+" + router + (migrate ? "+migrate" : "");
+    base.fleet_tweak = [router, migrate](fleet::FleetConfig& cfg) {
+        cfg.router = router;
+        cfg.migrate_on_throttle = migrate;
     };
+    return base;
+}
+
+namespace {
+
+/// Spec-dependent arms define the device-parameterised factory once and
+/// derive the classic single-spec `make` from it, so fleet episodes hand
+/// every pool device a governor sized for *its* ladder and thresholds
+/// while single-device episodes keep their baked-in spec.
+ArmSpec spec_arm(std::string name, const platform::DeviceSpec& spec,
+                 std::function<std::unique_ptr<governors::Governor>(
+                     const platform::DeviceSpec&, std::uint64_t)>
+                     make_for) {
+    ArmSpec arm;
+    arm.name = std::move(name);
+    arm.make_for = std::move(make_for);
+    arm.make = [f = arm.make_for, spec](std::uint64_t seed) { return f(spec, seed); };
+    return arm;
+}
+
+} // namespace
+
+ArmSpec default_arm(const platform::DeviceSpec& spec) {
+    return spec_arm("default", spec,
+                    [](const platform::DeviceSpec& dev,
+                       std::uint64_t) -> std::unique_ptr<governors::Governor> {
+                        const bool orin = dev.name.find("orin") != std::string::npos;
+                        return std::make_unique<governors::DefaultGovernor>(
+                            orin ? governors::DefaultGovernor::orin_nano()
+                                 : governors::DefaultGovernor::mi11_lite());
+                    });
 }
 
 ArmSpec ztt_arm(const platform::DeviceSpec& spec) {
-    const auto cpu_levels = spec.cpu.opp.num_levels();
-    const auto gpu_levels = spec.gpu.opp.num_levels();
-    const double t_thres = platform::reward_threshold_celsius(spec);
-    return ArmSpec{
-        .name = "zTT",
-        .make =
-            [=](std::uint64_t seed) -> std::unique_ptr<governors::Governor> {
-            governors::ZttConfig cfg;
-            cfg.t_thres_celsius = t_thres;
-            cfg.seed = seed;
-            return std::make_unique<governors::ZttGovernor>(cpu_levels, gpu_levels, cfg);
-        },
-        .paper = std::nullopt,
-        .tweak = nullptr,
-        .serving_tweak = nullptr,
-    };
+    return spec_arm("zTT", spec,
+                    [](const platform::DeviceSpec& dev,
+                       std::uint64_t seed) -> std::unique_ptr<governors::Governor> {
+                        governors::ZttConfig cfg;
+                        cfg.t_thres_celsius = platform::reward_threshold_celsius(dev);
+                        cfg.seed = seed;
+                        return std::make_unique<governors::ZttGovernor>(
+                            dev.cpu.opp.num_levels(), dev.gpu.opp.num_levels(), cfg);
+                    });
 }
 
 ArmSpec lotus_arm(const platform::DeviceSpec& spec) {
@@ -55,62 +71,48 @@ ArmSpec lotus_arm(const platform::DeviceSpec& spec) {
 
 ArmSpec lotus_arm_with(const platform::DeviceSpec& spec, const std::string& label,
                        core::LotusConfig cfg) {
-    const auto cpu_levels = spec.cpu.opp.num_levels();
-    const auto gpu_levels = spec.gpu.opp.num_levels();
-    if (cfg.reward.t_thres_celsius >= platform::throttle_bound_celsius(spec)) {
-        cfg.reward.t_thres_celsius = platform::reward_threshold_celsius(spec);
-    }
-    return ArmSpec{
-        .name = label,
-        .make =
-            [=](std::uint64_t seed) -> std::unique_ptr<governors::Governor> {
+    return spec_arm(
+        label, spec,
+        [cfg](const platform::DeviceSpec& dev,
+              std::uint64_t seed) -> std::unique_ptr<governors::Governor> {
             auto run_cfg = cfg;
+            // A threshold at/above the device's hardware trip would reward
+            // riding the throttler; clamp to the device's safety margin
+            // (per pool device in heterogeneous fleets).
+            if (run_cfg.reward.t_thres_celsius >= platform::throttle_bound_celsius(dev)) {
+                run_cfg.reward.t_thres_celsius = platform::reward_threshold_celsius(dev);
+            }
             run_cfg.seed = seed;
-            return std::make_unique<core::LotusAgent>(cpu_levels, gpu_levels, run_cfg);
-        },
-        .paper = std::nullopt,
-        .tweak = nullptr,
-        .serving_tweak = nullptr,
-    };
+            return std::make_unique<core::LotusAgent>(dev.cpu.opp.num_levels(),
+                                                      dev.gpu.opp.num_levels(), run_cfg);
+        });
 }
 
 ArmSpec fixed_arm(std::size_t cpu_level, std::size_t gpu_level) {
-    return ArmSpec{
-        .name = "fixed(" + std::to_string(cpu_level) + "," + std::to_string(gpu_level) + ")",
-        .make =
-            [=](std::uint64_t) -> std::unique_ptr<governors::Governor> {
-            return std::make_unique<governors::FixedGovernor>(cpu_level, gpu_level);
-        },
-        .paper = std::nullopt,
-        .tweak = nullptr,
-        .serving_tweak = nullptr,
+    ArmSpec arm;
+    arm.name = "fixed(" + std::to_string(cpu_level) + "," + std::to_string(gpu_level) + ")";
+    arm.make = [=](std::uint64_t) -> std::unique_ptr<governors::Governor> {
+        return std::make_unique<governors::FixedGovernor>(cpu_level, gpu_level);
     };
+    return arm;
 }
 
 ArmSpec performance_arm() {
-    return ArmSpec{
-        .name = "performance",
-        .make =
-            [](std::uint64_t) -> std::unique_ptr<governors::Governor> {
-            return std::make_unique<governors::PerformanceGovernor>();
-        },
-        .paper = std::nullopt,
-        .tweak = nullptr,
-        .serving_tweak = nullptr,
+    ArmSpec arm;
+    arm.name = "performance";
+    arm.make = [](std::uint64_t) -> std::unique_ptr<governors::Governor> {
+        return std::make_unique<governors::PerformanceGovernor>();
     };
+    return arm;
 }
 
 ArmSpec powersave_arm() {
-    return ArmSpec{
-        .name = "powersave",
-        .make =
-            [](std::uint64_t) -> std::unique_ptr<governors::Governor> {
-            return std::make_unique<governors::PowersaveGovernor>();
-        },
-        .paper = std::nullopt,
-        .tweak = nullptr,
-        .serving_tweak = nullptr,
+    ArmSpec arm;
+    arm.name = "powersave";
+    arm.make = [](std::uint64_t) -> std::unique_ptr<governors::Governor> {
+        return std::make_unique<governors::PowersaveGovernor>();
     };
+    return arm;
 }
 
 } // namespace lotus::harness

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/fleet.hpp"
 #include "governors/governor.hpp"
 #include "lotus/agent.hpp"
 #include "platform/device.hpp"
@@ -42,11 +43,23 @@ struct PaperRow {
 struct ArmSpec {
     std::string name;
     std::function<std::unique_ptr<governors::Governor>(std::uint64_t seed)> make;
+    /// Device-parameterised factory for fleet episodes: builds a governor
+    /// sized for the given device's spec (level counts, thermal
+    /// thresholds). Heterogeneous pools run one governor per device, so an
+    /// arm built against an Orin must not hand Orin-shaped agents to a
+    /// phone. When absent, fleet episodes fall back to `make` (correct for
+    /// spec-independent governors like performance/powersave/fixed).
+    std::function<std::unique_ptr<governors::Governor>(const platform::DeviceSpec& spec,
+                                                       std::uint64_t seed)>
+        make_for;
     std::optional<PaperRow> paper;
     std::function<void(runtime::ExperimentConfig&)> tweak;
     /// Per-arm adjustment of a serving scenario's config (scheduler shootouts
     /// etc.); ignored for classic experiment scenarios.
     std::function<void(serving::ServingConfig&)> serving_tweak;
+    /// Per-arm adjustment of a fleet scenario's config (router shootouts,
+    /// migration on/off); ignored for non-fleet scenarios.
+    std::function<void(fleet::FleetConfig&)> fleet_tweak;
 };
 
 /// A named, tagged experiment: config + arms. (Constructed from its config
@@ -63,10 +76,15 @@ struct Scenario {
     /// request serving) instead of the runtime::ExperimentRunner; `config`
     /// still names the device/detector for arm factories and sinks.
     std::optional<serving::ServingConfig> serving;
+    /// When set, episodes run on the fleet::FleetEngine (request routing
+    /// across a device pool, one governor instance per device); takes
+    /// precedence over `serving`.
+    std::optional<fleet::FleetConfig> fleet;
     std::vector<ArmSpec> arms;
 
     [[nodiscard]] bool has_tag(const std::string& tag) const;
     [[nodiscard]] bool is_serving() const noexcept { return serving.has_value(); }
+    [[nodiscard]] bool is_fleet() const noexcept { return fleet.has_value(); }
 };
 
 // --- standard arm factories --------------------------------------------------
@@ -94,5 +112,11 @@ struct Scenario {
 
 /// Linux `powersave` governor (both domains pinned to the bottom level).
 [[nodiscard]] ArmSpec powersave_arm();
+
+/// Retarget any governor arm at one fleet routing policy: the arm name
+/// becomes "<base>+<router>[+migrate]" and its fleet_tweak pins the router
+/// and migration switch (router shoot-outs express each policy as an arm).
+[[nodiscard]] ArmSpec fleet_arm(ArmSpec base, const std::string& router,
+                                bool migrate = false);
 
 } // namespace lotus::harness

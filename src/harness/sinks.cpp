@@ -33,11 +33,16 @@ double max_constraint_ms(const EpisodeResult& r) {
     return best;
 }
 
-/// Largest SLO across a serving episode's streams.
+/// Largest SLO across a serving or fleet episode's streams.
 double max_slo_ms(const EpisodeResult& r) {
     double best = 0.0;
     if (r.serving_config) {
         for (const auto& s : r.serving_config->streams) {
+            best = std::max(best, s.slo_s * 1e3);
+        }
+    }
+    if (r.fleet_config) {
+        for (const auto& s : r.fleet_config->streams) {
             best = std::max(best, s.slo_s * 1e3);
         }
     }
@@ -177,20 +182,65 @@ void print_serving_table(const std::string& heading,
     std::printf("%s", table.render(heading).c_str());
 }
 
+void print_fleet_table(const std::string& heading,
+                       const std::vector<EpisodeResult>& results) {
+    util::TextTable table({"method", "scope", "req", "served", "shed", "miss (%)",
+                           "shed (%)", "p50 (ms)", "p95 (ms)", "p99 (ms)", "wait (ms)",
+                           "thrpt (rps)", "T_peak (C)", "E/req (J)", "migr", "skew"});
+    for (const auto& r : results) {
+        if (!r.fleet_trace) continue;
+        const auto& t = *r.fleet_trace;
+        const std::size_t devices = t.device_names().size();
+        const auto rows = t.all_summaries();
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const auto& s = rows[i];
+            const bool fleet_row = i == 0;
+            const bool device_row = !fleet_row && i <= devices;
+            table.add_row({
+                r.arm,
+                device_row ? "dev:" + s.stream : s.stream,
+                std::to_string(s.requests),
+                std::to_string(s.served),
+                std::to_string(s.shed),
+                util::format_double(s.miss_rate * 100.0, 1),
+                util::format_double(s.shed_rate * 100.0, 1),
+                util::format_double(s.p50_ms, 1),
+                util::format_double(s.p95_ms, 1),
+                util::format_double(s.p99_ms, 1),
+                util::format_double(s.mean_wait_ms, 1),
+                util::format_double(s.throughput_rps, 2),
+                util::format_double(s.peak_device_temp_c, 1),
+                util::format_double(s.energy_per_req_j, 1),
+                fleet_row ? std::to_string(t.migrations())
+                          : (device_row ? std::to_string(t.device_stats(i - 1).migrations_out)
+                                        : "-"),
+                fleet_row ? util::format_double(t.load_skew(), 3) : "-",
+            });
+        }
+    }
+    std::printf("%s", table.render(heading).c_str());
+}
+
 void print_figure(const std::string& title, const std::vector<EpisodeResult>& results) {
     if (results.empty()) return;
     std::printf("%s\n%s\n", title.c_str(), std::string(title.size(), '=').c_str());
 
-    const bool serving = results.front().is_serving();
+    const bool fleet = results.front().is_fleet();
+    const bool serving = fleet || results.front().is_serving();
+    const auto temps = [&](const EpisodeResult& r) {
+        if (fleet) return r.fleet_trace->device_temps();
+        return serving ? r.serving_trace->device_temps() : r.trace.device_temps();
+    };
+    const auto latencies = [&](const EpisodeResult& r) {
+        if (fleet) return r.fleet_trace->e2e_ms();
+        return serving ? r.serving_trace->e2e_ms() : r.trace.latencies_ms();
+    };
     const double throttle_bound_c =
         platform::throttle_bound_celsius(results.front().config.device_spec);
 
     util::AsciiChart temp_chart(110, 14);
     for (const auto& r : results) {
-        temp_chart.add_series(
-            {r.arm, util::downsample(serving ? r.serving_trace->device_temps()
-                                             : r.trace.device_temps(),
-                                     110)});
+        temp_chart.add_series({r.arm, util::downsample(temps(r), 110)});
     }
     temp_chart.add_reference_line(throttle_bound_c, "throttling bound");
     std::printf("%s\n",
@@ -202,10 +252,7 @@ void print_figure(const std::string& title, const std::vector<EpisodeResult>& re
     }
     util::AsciiChart lat_chart(110, 14);
     for (const auto& r : results) {
-        lat_chart.add_series(
-            {r.arm,
-             util::downsample(serving ? r.serving_trace->e2e_ms() : r.trace.latencies_ms(),
-                              110)});
+        lat_chart.add_series({r.arm, util::downsample(latencies(r), 110)});
     }
     lat_chart.add_reference_line(bound_ms, serving ? "max SLO" : "latency constraint");
     std::printf("%s\n",
@@ -231,11 +278,15 @@ void write_csv_traces(const std::string& dir, const std::string& stem,
         return dir + "/" + name + ".csv";
     };
 
+    const bool fleet = !results.empty() && results.front().is_fleet();
     const bool serving = !results.empty() && results.front().is_serving();
     for (const auto& r : results) {
         const auto path = unique_path(sanitize(stem) + "_" + sanitize(r.arm));
         std::size_t rows = 0;
-        if (r.serving_trace) {
+        if (r.fleet_trace) {
+            r.fleet_trace->write_csv(path);
+            rows = r.fleet_trace->size();
+        } else if (r.serving_trace) {
             r.serving_trace->write_csv(path);
             rows = r.serving_trace->size();
         } else {
@@ -250,12 +301,54 @@ void write_csv_traces(const std::string& dir, const std::string& stem,
     // Episode-summary table: the one place scenario and arm names land
     // *inside* a CSV, so quoting matters (CsvWriter applies RFC 4180).
     const auto summary_path = dir + "/" + sanitize(stem) + "_summary.csv";
-    if (serving) {
+    if (fleet) {
+        util::CsvWriter csv(summary_path,
+                            {"scenario", "arm", "scope", "label", "requests", "served",
+                             "shed", "missed", "p50_ms", "p95_ms", "p99_ms",
+                             "mean_wait_ms", "miss_rate", "shed_rate", "throughput_rps",
+                             "energy_per_req_j", "peak_temp_c", "migrations",
+                             "load_skew"});
+        for (const auto& r : results) {
+            if (!r.fleet_trace) continue;
+            const auto& t = *r.fleet_trace;
+            const std::size_t devices = t.device_names().size();
+            const auto rows = t.all_summaries();
+            for (std::size_t i = 0; i < rows.size(); ++i) {
+                const auto& s = rows[i];
+                const bool fleet_row = i == 0;
+                const bool device_row = !fleet_row && i <= devices;
+                csv.row(std::vector<std::string>{
+                    r.scenario,
+                    r.arm,
+                    fleet_row ? "fleet" : (device_row ? "device" : "stream"),
+                    s.stream,
+                    std::to_string(s.requests),
+                    std::to_string(s.served),
+                    std::to_string(s.shed),
+                    std::to_string(s.missed),
+                    util::format_double(s.p50_ms, 3),
+                    util::format_double(s.p95_ms, 3),
+                    util::format_double(s.p99_ms, 3),
+                    util::format_double(s.mean_wait_ms, 3),
+                    util::format_double(s.miss_rate, 4),
+                    util::format_double(s.shed_rate, 4),
+                    util::format_double(s.throughput_rps, 4),
+                    util::format_double(s.energy_per_req_j, 3),
+                    util::format_double(s.peak_device_temp_c, 2),
+                    fleet_row
+                        ? std::to_string(t.migrations())
+                        : (device_row ? std::to_string(t.device_stats(i - 1).migrations_out)
+                                      : ""),
+                    fleet_row ? util::format_double(t.load_skew(), 4) : "",
+                });
+            }
+        }
+    } else if (serving) {
         util::CsvWriter csv(summary_path,
                             {"scenario", "arm", "stream", "requests", "served", "shed",
                              "missed", "p50_ms", "p95_ms", "p99_ms", "mean_wait_ms",
                              "miss_rate", "shed_rate", "throughput_rps",
-                             "energy_per_req_j", "peak_device_temp_c"});
+                             "energy_per_req_j", "peak_temp_c"});
         for (const auto& r : results) {
             if (!r.serving_trace) continue;
             for (const auto& s : r.serving_trace->all_summaries()) {
@@ -308,7 +401,9 @@ std::string scenario_json(const Scenario& scenario,
     std::string o = "{";
     o += "\"scenario\":" + jstr(scenario.name);
     o += ",\"title\":" + jstr(scenario.title);
-    o += ",\"mode\":" + jstr(scenario.is_serving() ? "serving" : "experiment");
+    o += ",\"mode\":" + jstr(scenario.is_fleet()
+                                 ? "fleet"
+                                 : (scenario.is_serving() ? "serving" : "experiment"));
     o += ",\"episodes\":[";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const auto& r = results[i];
@@ -316,14 +411,53 @@ std::string scenario_json(const Scenario& scenario,
         o += "{\"arm\":" + jstr(r.arm);
         // uint64 seeds exceed JSON's exact-integer range; emit as a string.
         o += ",\"episode_seed\":" + jstr(std::to_string(r.episode_seed));
-        if (r.serving_trace) {
+        if (r.fleet_trace) {
+            const auto& t = *r.fleet_trace;
+            const auto agg = t.aggregate();
+            o += ",\"router\":" + jstr(r.fleet_config ? r.fleet_config->router : "");
+            o += ",\"scheduler\":" + jstr(r.fleet_config ? r.fleet_config->scheduler : "");
+            o += ",\"devices_n\":" + std::to_string(t.device_names().size());
+            o += ",\"makespan_s\":" + jnum(t.makespan_s());
+            o += ",\"total_energy_j\":" + jnum(t.total_energy_j());
+            // Headline fleet signals, surfaced top-level so JSONL pipelines
+            // need not dig into the aggregate object.
+            o += ",\"peak_temp_c\":" + jnum(t.peak_temp_c());
+            o += ",\"shed_rate\":" + jnum(agg.shed_rate);
+            o += ",\"migrations\":" + std::to_string(t.migrations());
+            o += ",\"load_skew\":" + jnum(t.load_skew());
+            o += ",\"aggregate\":" + serving_summary_json(agg);
+            o += ",\"devices\":[";
+            for (std::size_t d = 0; d < t.device_names().size(); ++d) {
+                if (d != 0) o += ",";
+                const auto& stats = t.device_stats(d);
+                auto dev = serving_summary_json(t.device_summary(d));
+                // Splice the device-only facts into the summary object.
+                dev.pop_back();
+                dev += ",\"makespan_s\":" + jnum(stats.makespan_s);
+                dev += ",\"energy_j\":" + jnum(stats.energy_j);
+                dev += ",\"max_queue_depth\":" + std::to_string(stats.max_queue_depth);
+                dev += ",\"migrations_out\":" + std::to_string(stats.migrations_out);
+                dev += ",\"failed\":" + std::string(stats.failed ? "true" : "false");
+                dev += "}";
+                o += dev;
+            }
+            o += "],\"streams\":[";
+            for (std::size_t s = 0; s < t.stream_names().size(); ++s) {
+                if (s != 0) o += ",";
+                o += serving_summary_json(t.stream_summary(s));
+            }
+            o += "]";
+        } else if (r.serving_trace) {
+            const auto agg = r.serving_trace->aggregate();
             o += ",\"scheduler\":" +
                  jstr(r.serving_config ? r.serving_config->scheduler : "");
             o += ",\"makespan_s\":" + jnum(r.serving_trace->makespan_s());
             o += ",\"total_energy_j\":" + jnum(r.serving_trace->total_energy_j());
             o += ",\"max_queue_depth\":" +
                  std::to_string(r.serving_trace->max_queue_depth());
-            o += ",\"aggregate\":" + serving_summary_json(r.serving_trace->aggregate());
+            o += ",\"peak_temp_c\":" + jnum(agg.peak_device_temp_c);
+            o += ",\"shed_rate\":" + jnum(agg.shed_rate);
+            o += ",\"aggregate\":" + serving_summary_json(agg);
             o += ",\"streams\":[";
             const auto names = r.serving_trace->stream_names();
             for (std::size_t s = 0; s < names.size(); ++s) {

@@ -36,6 +36,12 @@ void print_summary_table(const std::string& heading,
 void print_serving_table(const std::string& heading,
                          const std::vector<EpisodeResult>& results);
 
+/// Fleet-style quantitative table: per arm, a fleet row, one row per device
+/// and one per stream, plus the fleet-only columns (migrations,
+/// load-balance skew).
+void print_fleet_table(const std::string& heading,
+                       const std::vector<EpisodeResult>& results);
+
 /// Paper-style figure: device-temperature chart (with the throttling bound)
 /// stacked above a latency chart (with the constraint / max SLO), one series
 /// per episode. Serving episodes chart end-to-end latency per request.
@@ -59,7 +65,9 @@ class SummaryTableSink final : public ResultSink {
 public:
     void consume(const Scenario& scenario,
                  const std::vector<EpisodeResult>& results) override {
-        if (scenario.is_serving()) {
+        if (scenario.is_fleet()) {
+            print_fleet_table(scenario.title, results);
+        } else if (scenario.is_serving()) {
             print_serving_table(scenario.title, results);
         } else {
             print_summary_table(scenario.title, results);

@@ -69,6 +69,12 @@
 #include "serving/scheduler.hpp"
 #include "serving/trace.hpp"
 
+// Fleet layer: thermally-aware routing across a pool of devices
+#include "fleet/engine.hpp"
+#include "fleet/fleet.hpp"
+#include "fleet/router.hpp"
+#include "fleet/trace.hpp"
+
 // Experiment harness: scenario catalog + parallel episode execution
 #include "harness/harness.hpp"
 #include "harness/registry.hpp"

@@ -20,6 +20,12 @@ constexpr double kServiceEwma = 0.3;
 /// arrival it targeted. Guarantees the event loop always makes progress.
 constexpr double kTimeEps = 1e-9;
 
+/// Prefix a derive_seed stream id with the engine instance namespace; the
+/// empty instance maps to the bare id so historical seeds are preserved.
+std::string seed_id(const std::string& instance, const std::string& what) {
+    return instance.empty() ? what : instance + "/" + what;
+}
+
 } // namespace
 
 ServingEngine::ServingEngine(ServingConfig config) : config_(std::move(config)) {
@@ -40,16 +46,18 @@ ServingEngine::ServingEngine(ServingConfig config) : config_(std::move(config)) 
     (void)make_scheduler(config_.scheduler); // throws on unknown policy
 }
 
-std::vector<Request> ServingEngine::build_requests() const {
+std::vector<Request> build_request_timeline(const std::vector<StreamSpec>& streams,
+                                            std::uint64_t seed,
+                                            const std::string& instance) {
     std::vector<Request> all;
-    for (std::size_t s = 0; s < config_.streams.size(); ++s) {
-        const auto& stream = config_.streams[s];
-        const auto arrivals =
-            generate_arrivals(stream.arrival, stream.requests,
-                              util::derive_seed(config_.seed, "arrivals/" + stream.name, s));
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+        const auto& stream = streams[s];
+        const auto arrivals = generate_arrivals(
+            stream.arrival, stream.requests,
+            util::derive_seed(seed, seed_id(instance, "arrivals/" + stream.name), s));
         workload::FrameStream frames(
             workload::dataset_by_name(stream.dataset),
-            util::derive_seed(config_.seed, "frames/" + stream.name, s));
+            util::derive_seed(seed, seed_id(instance, "frames/" + stream.name), s));
         for (std::size_t k = 0; k < stream.requests; ++k) {
             Request r;
             r.stream = s;
@@ -70,6 +78,10 @@ std::vector<Request> ServingEngine::build_requests() const {
     return all;
 }
 
+std::vector<Request> ServingEngine::build_requests() const {
+    return build_request_timeline(config_.streams, config_.seed, config_.instance);
+}
+
 ServingTrace ServingEngine::run(governors::Governor& governor) const {
     platform::EdgeDevice device(config_.device_spec);
     device.set_ambient(config_.ambient_celsius);
@@ -85,7 +97,8 @@ ServingTrace ServingEngine::run(governors::Governor& governor) const {
                                       : warm.slo_s;
         workload::FrameStream stream(
             workload::dataset_by_name(warm.dataset),
-            util::derive_seed(config_.seed, "pretrain/" + warm.dataset, 0));
+            util::derive_seed(config_.seed,
+                              seed_id(config_.instance, "pretrain/" + warm.dataset), 0));
         for (std::size_t i = 0; i < config_.pretrain_iterations; ++i) {
             engine.run_frame(model, stream.next(), governor, constraint, i);
         }

@@ -27,6 +27,16 @@
 
 namespace lotus::serving {
 
+/// Materialise the merged, arrival-ordered request timeline of a stream set:
+/// per-stream arrival times and frame samples are pure functions of
+/// (seed, instance, stream name, stream index), then the per-stream
+/// timelines merge with deterministic tie-breaks and ids in global arrival
+/// order. `instance` namespaces the seed derivation (see
+/// ServingConfig::instance); "" reproduces the historical derivation.
+[[nodiscard]] std::vector<Request> build_request_timeline(
+    const std::vector<StreamSpec>& streams, std::uint64_t seed,
+    const std::string& instance = "");
+
 class ServingEngine {
 public:
     /// Validates the config (throws std::invalid_argument on empty streams,

@@ -74,6 +74,13 @@ struct ServingConfig {
     double pretrain_constraint_s = 0.0;
     std::uint64_t seed = 42;
     double ambient_celsius = 25.0;
+    /// Seed namespace folded into every util::derive_seed call (arrivals,
+    /// frames, pre-training). Two engine instances replaying the *same*
+    /// stream configs must not draw identical randomness when they model
+    /// different physical devices -- the fleet layer sets this to the device
+    /// id. Empty (the single-device default) reproduces the historical seed
+    /// derivation exactly.
+    std::string instance;
 };
 
 } // namespace lotus::serving

@@ -65,6 +65,17 @@ inline std::string parse_dataset(const std::string& tool, const std::string& s) 
     usage_error(tool, "unknown dataset " + s);
 }
 
+/// Validated fleet routing-policy name (round_robin | least_queue |
+/// thermal_aware | lotus_fleet, plus the rr/jsq shorthands).
+inline std::string parse_router(const std::string& tool, const std::string& s) {
+    try {
+        (void)fleet::make_router(s);
+    } catch (const std::invalid_argument& e) {
+        usage_error(tool, e.what());
+    }
+    return s;
+}
+
 /// Output format for result rendering.
 enum class OutputFormat { table, json };
 

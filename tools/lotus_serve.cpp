@@ -12,15 +12,28 @@
 //
 //  * Ad-hoc mode -- build one serving experiment from flags: N identical
 //    streams (phase-staggered so they do not arrive in lockstep) of the
-//    given dataset/arrival process, one governor, one scheduler.
+//    given dataset/arrival process, one governor, one scheduler. With
+//    --devices N the streams are served by a FLEET of N copies of the
+//    device preset behind the chosen --router (one governor instance per
+//    device) instead of a single device.
 //
 //      lotus_serve --streams 8 --arrival burst --scheduler edf --governor lotus
 //      lotus_serve --streams 4 --arrival poisson --rate 0.5 --slo 800 --csv out/
+//      lotus_serve --streams 12 --rate 1.2 --devices 4 --router thermal_aware
 //
 // Flags (all optional):
-//   --list-scenarios  enumerate serving scenarios and exit
-//   --scenario NAME   run a registry serving scenario (repeatable)
+//   --list-scenarios  enumerate serving + fleet scenarios and exit
+//   --scenario NAME   run a registry serving/fleet scenario (repeatable)
 //   --jobs N          worker threads for scenario mode  (default: all cores)
+//   --devices N       fleet size. Ad-hoc mode: serve on N copies of the
+//                     device preset. Scenario mode: resize a FLEET
+//                     scenario's pool (cycling its defined devices);
+//                     rejected for non-fleet scenarios.
+//   --router R        round_robin | least_queue | thermal_aware | lotus_fleet
+//                     Ad-hoc mode: requires --devices. Scenario mode:
+//                     overrides a fleet scenario's default routing policy
+//                     (arms that pin their own router -- the router
+//                     shoot-out scenarios -- keep their pin).
 //   --device     orin | mi11                            (default orin)
 //   --detector   frcnn | mrcnn | yolo                   (default frcnn)
 //   --dataset    kitti | visdrone                       (default kitti)
@@ -39,8 +52,9 @@
 //   --csv DIR         write per-request ledgers + summary CSV into DIR
 //   --chart           render temperature / end-to-end latency ASCII charts
 //
-// Unknown flags, unknown enum values and malformed numbers are rejected
-// with a nonzero exit -- no silent fallbacks.
+// Unknown flags, unknown enum values, malformed numbers and contradictory
+// invocations (scenario mode combined with ad-hoc stream flags, --router
+// without a fleet) are rejected with a nonzero exit -- no silent fallbacks.
 
 #include <cstdio>
 #include <string>
@@ -74,6 +88,10 @@ struct Options {
     bool list_scenarios = false;
     std::vector<std::string> scenarios;
     std::size_t jobs = 0;
+    /// Fleet knobs: valid in ad-hoc mode (build a fleet of N preset copies)
+    /// and in scenario mode (override a fleet scenario's pool size/router).
+    std::size_t devices = 0; // 0 = not passed
+    std::string router;      // "" = not passed
     /// Ad-hoc-only flags the user explicitly passed, so scenario mode can
     /// reject them instead of silently ignoring an override.
     std::vector<std::string> adhoc_flags;
@@ -138,6 +156,11 @@ Options parse(int argc, char** argv) {
         } else if (flag == "--jobs") {
             opt.jobs = static_cast<std::size_t>(u64(flag, need_value(i)));
             if (opt.jobs == 0) cli::usage_error(kTool, "--jobs must be >= 1");
+        } else if (flag == "--devices") {
+            opt.devices = static_cast<std::size_t>(u64(flag, need_value(i)));
+            if (opt.devices == 0) cli::usage_error(kTool, "--devices must be >= 1");
+        } else if (flag == "--router") {
+            opt.router = cli::parse_router(kTool, need_value(i));
         } else if (flag == "--help" || flag == "-h") {
             std::printf("see the header comment of tools/lotus_serve.cpp for usage\n");
             std::exit(0);
@@ -160,13 +183,19 @@ cli::RenderOptions render_options(const Options& opt) {
 int list_scenarios() {
     const auto& registry = harness::ScenarioRegistry::instance();
     const auto serving = registry.with_tag("serving");
-    util::TextTable table({"scenario", "arms", "scheduler", "streams", "title"});
+    util::TextTable table({"scenario", "arms", "devices", "scheduler", "streams", "title"});
     for (const auto* s : serving) {
-        table.add_row({s->name, std::to_string(s->arms.size()), s->serving->scheduler,
-                       std::to_string(s->serving->streams.size()), s->title});
+        const bool fleet = s->is_fleet();
+        table.add_row({s->name, std::to_string(s->arms.size()),
+                       fleet ? std::to_string(s->fleet->devices.size()) : "1",
+                       fleet ? s->fleet->scheduler : s->serving->scheduler,
+                       std::to_string(fleet ? s->fleet->streams.size()
+                                            : s->serving->streams.size()),
+                       s->title});
     }
-    std::printf("%s", table.render("serving scenarios (" + std::to_string(serving.size()) +
-                                   " of " + std::to_string(registry.all().size()) +
+    std::printf("%s", table.render("serving + fleet scenarios (" +
+                                   std::to_string(serving.size()) + " of " +
+                                   std::to_string(registry.all().size()) +
                                    " registry entries)")
                           .c_str());
     return 0;
@@ -180,7 +209,11 @@ int run_scenarios(const Options& opt) {
                                     "--seed/--jobs/--format/--chart/--csv instead)");
     }
     const auto& registry = harness::ScenarioRegistry::instance();
+    // --devices/--router act as fleet overrides: modified copies live here,
+    // the batch points at either the registry entry or its override.
+    std::vector<std::unique_ptr<harness::Scenario>> overridden;
     std::vector<const harness::Scenario*> batch;
+    const bool fleet_override = opt.devices > 0 || !opt.router.empty();
     for (const auto& name : opt.scenarios) {
         const auto* s = registry.find(name);
         if (s == nullptr) {
@@ -188,14 +221,26 @@ int run_scenarios(const Options& opt) {
                          kTool.c_str(), name.c_str());
             return 2;
         }
-        if (!s->is_serving()) {
+        if (!s->is_serving() && !s->is_fleet()) {
             std::fprintf(stderr,
                          "%s: scenario '%s' is a classic experiment, not a serving "
                          "scenario (run it with lotus_run)\n",
                          kTool.c_str(), name.c_str());
             return 2;
         }
-        batch.push_back(s);
+        if (fleet_override && !s->is_fleet()) {
+            cli::usage_error(kTool, "--devices/--router override a FLEET scenario's pool; '" +
+                                        name + "' serves a single device");
+        }
+        if (fleet_override) {
+            auto copy = std::make_unique<harness::Scenario>(*s);
+            if (opt.devices > 0) fleet::resize_pool(*copy->fleet, opt.devices);
+            if (!opt.router.empty()) copy->fleet->router = opt.router;
+            batch.push_back(copy.get());
+            overridden.push_back(std::move(copy));
+        } else {
+            batch.push_back(s);
+        }
     }
 
     const auto render = render_options(opt); // validate before the long run
@@ -209,6 +254,10 @@ int run_scenarios(const Options& opt) {
 }
 
 int run_adhoc(const Options& opt) {
+    if (opt.devices == 0 && !opt.router.empty()) {
+        cli::usage_error(kTool, "--router picks the fleet routing policy and requires "
+                                "--devices N (a single device has nothing to route)");
+    }
     const auto render = render_options(opt); // validate before the long run
     const auto spec = cli::parse_device(kTool, opt.device);
     const auto kind = cli::parse_detector(kTool, opt.detector);
@@ -231,16 +280,19 @@ int run_adhoc(const Options& opt) {
 
     harness::Scenario scenario(
         runtime::static_experiment(spec, kind, dataset, 1, 0, opt.seed));
-    scenario.name = "cli_serve";
-    scenario.title = "lotus_serve ad-hoc serving experiment";
+    scenario.name = opt.devices > 0 ? "cli_fleet" : "cli_serve";
+    scenario.title = opt.devices > 0 ? "lotus_serve ad-hoc fleet experiment"
+                                     : "lotus_serve ad-hoc serving experiment";
 
-    serving::ServingConfig cfg(spec);
-    cfg.detector = kind;
-    cfg.scheduler = opt.scheduler;
-    cfg.pretrain_iterations = opt.pretrain;
-    cfg.pretrain_constraint_s = constraint;
+    try {
+        (void)serving::make_scheduler(opt.scheduler);
+    } catch (const std::invalid_argument& e) {
+        cli::usage_error(kTool, e.what());
+    }
+
     // Stagger stream phases across one mean inter-arrival so N identical
     // streams do not fire in lockstep.
+    std::vector<serving::StreamSpec> streams;
     for (std::size_t i = 0; i < opt.streams; ++i) {
         serving::StreamSpec stream;
         stream.name = "stream" + std::to_string(i);
@@ -250,24 +302,46 @@ int run_adhoc(const Options& opt) {
         stream.arrival = arrival;
         stream.arrival.phase_s =
             static_cast<double>(i) / (arrival.rate_hz * static_cast<double>(opt.streams));
-        cfg.streams.push_back(std::move(stream));
+        streams.push_back(std::move(stream));
     }
-    try {
-        (void)serving::make_scheduler(opt.scheduler);
-    } catch (const std::invalid_argument& e) {
-        cli::usage_error(kTool, e.what());
+
+    if (opt.devices > 0) {
+        fleet::FleetConfig cfg;
+        for (std::size_t d = 0; d < opt.devices; ++d) {
+            cfg.devices.push_back(
+                fleet::make_device(opt.device + std::to_string(d), spec));
+        }
+        cfg.detector = kind;
+        cfg.scheduler = opt.scheduler;
+        cfg.router = opt.router.empty() ? "round_robin" : opt.router;
+        cfg.pretrain_iterations = opt.pretrain;
+        cfg.pretrain_constraint_s = constraint;
+        cfg.streams = std::move(streams);
+        scenario.fleet = std::move(cfg);
+    } else {
+        serving::ServingConfig cfg(spec);
+        cfg.detector = kind;
+        cfg.scheduler = opt.scheduler;
+        cfg.pretrain_iterations = opt.pretrain;
+        cfg.pretrain_constraint_s = constraint;
+        cfg.streams = std::move(streams);
+        scenario.serving = std::move(cfg);
     }
-    scenario.serving = std::move(cfg);
     scenario.arms.push_back(cli::make_governor_arm(kTool, opt.governor, spec));
 
     std::fprintf(stderr,
                  "%s: %s + %s + %s | %zu streams x %zu req @ %.2f Hz (%s), SLO %.0f ms, "
-                 "scheduler %s, governor %s, seed %llu\n",
+                 "scheduler %s, governor %s, seed %llu",
                  kTool.c_str(), spec.name.c_str(), detector::to_string(kind),
                  dataset.c_str(), opt.streams, requests, opt.rate_hz,
                  serving::to_string(arrival.kind), slo_s * 1e3, opt.scheduler.c_str(),
                  scenario.arms[0].name.c_str(),
                  static_cast<unsigned long long>(opt.seed));
+    if (opt.devices > 0) {
+        std::fprintf(stderr, " | fleet of %zu, router %s", opt.devices,
+                     scenario.fleet->router.c_str());
+    }
+    std::fprintf(stderr, "\n");
 
     const harness::ExperimentHarness harness({.jobs = opt.jobs, .seed = opt.seed});
     cli::render_results(render, {&scenario}, harness.run(scenario));
