@@ -7,6 +7,7 @@
 
 #include "fleet/router.hpp"
 #include "platform/presets.hpp"
+#include "prof/profiler.hpp"
 #include "runtime/engine.hpp"
 #include "serving/engine.hpp"
 #include "serving/queue.hpp"
@@ -158,6 +159,7 @@ std::uint64_t FleetEngine::governor_seed(std::uint64_t governor_seed_root,
 
 FleetTrace FleetEngine::run(const GovernorFactory& make_governor,
                             std::uint64_t governor_seed_root) const {
+    LOTUS_PROF_SCOPE("fleet.run");
     const auto model = detector::make_detector(config_.detector);
 
     // --- build the pool -----------------------------------------------------
@@ -214,7 +216,8 @@ FleetTrace FleetEngine::run(const GovernorFactory& make_governor,
     for (const auto& d : config_.devices) device_names.push_back(d.id);
     std::vector<std::string> stream_names;
     for (const auto& s : config_.streams) stream_names.push_back(s.name);
-    FleetTrace trace(std::move(device_names), std::move(stream_names));
+    FleetTrace trace(std::move(device_names), std::move(stream_names),
+                     config_.capture_rows);
     trace.reserve(requests.size());
 
     auto router = make_router(config_.router);
@@ -269,6 +272,8 @@ FleetTrace FleetEngine::run(const GovernorFactory& make_governor,
     /// failed device) cannot be picked. Dispatcher-level shed when no live
     /// device remains.
     const auto route_request = [&](serving::Request req, double now, std::size_t exclude) {
+        LOTUS_PROF_SCOPE("fleet.route");
+        LOTUS_PROF_COUNT("fleet.routed", 1);
         const auto views = make_views(now, exclude);
         const auto idx = router->route(views, req, now);
         if (idx == Router::npos) {
@@ -304,6 +309,7 @@ FleetTrace FleetEngine::run(const GovernorFactory& make_governor,
     /// Serve one scheduling step on `w`: idle up to the event instant, move
     /// ready staged requests into the scheduler-visible queue, pick, run.
     const auto dispatch_one = [&](std::size_t index) {
+        LOTUS_PROF_SCOPE("fleet.dispatch");
         auto& w = *workers[index];
         const double target = w.next_event_s();
         if (w.device.now() + kTimeEps < target) {

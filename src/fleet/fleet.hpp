@@ -77,6 +77,10 @@ struct FleetConfig {
     double pretrain_constraint_s = 0.0;
     std::uint64_t seed = 42;
     double ambient_celsius = 25.0;
+    /// Materialise the per-request ledger. Turn off for the summary-only
+    /// fast path (bit-identical summaries, no per-row storage) when no CSV
+    /// dump or chart column extraction is needed.
+    bool capture_rows = true;
 };
 
 /// Convenience builder for a pool slot.

@@ -10,9 +10,14 @@
 namespace lotus::fleet {
 
 FleetTrace::FleetTrace(std::vector<std::string> device_names,
-                       std::vector<std::string> stream_names)
+                       std::vector<std::string> stream_names, bool capture_rows)
     : device_names_(std::move(device_names)), stream_names_(std::move(stream_names)),
-      device_stats_(device_names_.size()) {}
+      device_stats_(device_names_.size()), capture_rows_(capture_rows) {
+    if (!capture_rows_) {
+        device_accs_.resize(device_names_.size());
+        stream_accs_.resize(stream_names_.size());
+    }
+}
 
 void FleetTrace::add(FleetRecord record) {
     if (record.device != FleetRecord::kNoDevice && record.device >= device_names_.size()) {
@@ -21,7 +26,16 @@ void FleetTrace::add(FleetRecord record) {
     if (record.row.stream >= stream_names_.size()) {
         throw std::out_of_range("FleetTrace::add: unknown stream index");
     }
-    records_.push_back(std::move(record));
+    ++count_;
+    if (capture_rows_) {
+        records_.push_back(std::move(record));
+        return;
+    }
+    aggregate_acc_.add(record.row);
+    if (record.device != FleetRecord::kNoDevice) {
+        device_accs_[record.device].add(record.row);
+    }
+    stream_accs_[record.row.stream].add(record.row);
 }
 
 void FleetTrace::set_device_stats(std::size_t device, DeviceStats stats) {
@@ -51,13 +65,21 @@ std::size_t FleetTrace::migrations() const noexcept {
 }
 
 double FleetTrace::load_skew() const {
-    std::vector<std::size_t> served(device_names_.size(), 0);
-    for (const auto& r : records_) {
-        if (r.device != FleetRecord::kNoDevice && !r.row.shed) ++served[r.device];
-    }
     util::RunningStats stats;
-    for (std::size_t d = 0; d < served.size(); ++d) {
-        if (!device_stats_[d].failed) stats.add(static_cast<double>(served[d]));
+    if (!capture_rows_) {
+        for (std::size_t d = 0; d < device_accs_.size(); ++d) {
+            if (!device_stats_[d].failed) {
+                stats.add(static_cast<double>(device_accs_[d].served()));
+            }
+        }
+    } else {
+        std::vector<std::size_t> served(device_names_.size(), 0);
+        for (const auto& r : records_) {
+            if (r.device != FleetRecord::kNoDevice && !r.row.shed) ++served[r.device];
+        }
+        for (std::size_t d = 0; d < served.size(); ++d) {
+            if (!device_stats_[d].failed) stats.add(static_cast<double>(served[d]));
+        }
     }
     const double mean = stats.mean();
     return mean > 0.0 ? stats.stddev() / mean : 0.0;
@@ -105,10 +127,15 @@ serving::ServingSummary FleetTrace::summarize(const std::vector<const FleetRecor
 }
 
 serving::ServingSummary FleetTrace::aggregate() const {
-    std::vector<const FleetRecord*> rows;
-    rows.reserve(records_.size());
-    for (const auto& r : records_) rows.push_back(&r);
-    auto s = summarize(rows, "fleet");
+    serving::ServingSummary s;
+    if (!capture_rows_) {
+        s = aggregate_acc_.summarize("fleet", makespan_s_);
+    } else {
+        std::vector<const FleetRecord*> rows;
+        rows.reserve(records_.size());
+        for (const auto& r : records_) rows.push_back(&r);
+        s = summarize(rows, "fleet");
+    }
     // Charge the whole pool's energy (idle included) to the served load,
     // and report the run-long fleet peak rather than the completion-time
     // peak.
@@ -123,11 +150,16 @@ serving::ServingSummary FleetTrace::device_summary(std::size_t device) const {
     if (device >= device_names_.size()) {
         throw std::out_of_range("FleetTrace::device_summary: unknown device index");
     }
-    std::vector<const FleetRecord*> rows;
-    for (const auto& r : records_) {
-        if (r.device == device) rows.push_back(&r);
+    serving::ServingSummary s;
+    if (!capture_rows_) {
+        s = device_accs_[device].summarize(device_names_[device], makespan_s_);
+    } else {
+        std::vector<const FleetRecord*> rows;
+        for (const auto& r : records_) {
+            if (r.device == device) rows.push_back(&r);
+        }
+        s = summarize(rows, device_names_[device]);
     }
-    auto s = summarize(rows, device_names_[device]);
     const auto& stats = device_stats_[device];
     s.peak_device_temp_c = std::max(s.peak_device_temp_c, stats.peak_temp_c);
     if (s.served > 0 && stats.energy_j > 0.0) {
@@ -139,6 +171,9 @@ serving::ServingSummary FleetTrace::device_summary(std::size_t device) const {
 serving::ServingSummary FleetTrace::stream_summary(std::size_t stream) const {
     if (stream >= stream_names_.size()) {
         throw std::out_of_range("FleetTrace::stream_summary: unknown stream index");
+    }
+    if (!capture_rows_) {
+        return stream_accs_[stream].summarize(stream_names_[stream], makespan_s_);
     }
     std::vector<const FleetRecord*> rows;
     for (const auto& r : records_) {
@@ -175,6 +210,10 @@ std::vector<double> FleetTrace::device_temps() const {
 }
 
 void FleetTrace::write_csv(const std::string& path) const {
+    if (!capture_rows_) {
+        throw std::logic_error(
+            "FleetTrace::write_csv: summary-only trace holds no ledger rows");
+    }
     util::CsvWriter csv(path, {"request_id", "stream", "device", "migrated", "arrival_s",
                                "start_s", "queue_wait_ms", "service_ms", "e2e_ms", "slo_ms",
                                "shed", "missed", "throttled", "proposals", "cpu_temp",

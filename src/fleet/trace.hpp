@@ -53,13 +53,23 @@ struct DeviceStats {
 class FleetTrace {
 public:
     FleetTrace() = default;
-    FleetTrace(std::vector<std::string> device_names, std::vector<std::string> stream_names);
+    /// `capture_rows = false` selects the summary-only fast path: add() feeds
+    /// streaming serving::SummaryAccumulators (fleet-wide, per device, per
+    /// stream) instead of materialising FleetRecord rows; summaries and
+    /// load_skew stay bit-identical while the ledger (records(), write_csv,
+    /// chart columns) is unavailable.
+    FleetTrace(std::vector<std::string> device_names, std::vector<std::string> stream_names,
+               bool capture_rows = true);
 
     void add(FleetRecord record);
-    void reserve(std::size_t n) { records_.reserve(n); }
+    void reserve(std::size_t n) {
+        if (capture_rows_) records_.reserve(n);
+    }
 
-    [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
-    [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+    [[nodiscard]] bool capture_rows() const noexcept { return capture_rows_; }
+    /// Requests added (counted in both capture modes).
+    [[nodiscard]] std::size_t size() const noexcept { return count_; }
+    [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
     [[nodiscard]] const FleetRecord& operator[](std::size_t i) const { return records_[i]; }
     [[nodiscard]] const std::vector<FleetRecord>& records() const noexcept {
         return records_;
@@ -101,11 +111,13 @@ public:
     /// Aggregate, then one summary per device, then one per stream.
     [[nodiscard]] std::vector<serving::ServingSummary> all_summaries() const;
 
-    // Column extraction for charts (request completion order).
+    // Column extraction for charts (request completion order). Empty in
+    // summary-only mode.
     [[nodiscard]] std::vector<double> e2e_ms() const;
     [[nodiscard]] std::vector<double> device_temps() const;
 
     /// Dump the per-request ledger (device + migration columns included).
+    /// Throws std::logic_error in summary-only mode.
     void write_csv(const std::string& path) const;
 
 private:
@@ -116,6 +128,12 @@ private:
     std::vector<std::string> stream_names_;
     std::vector<FleetRecord> records_;
     std::vector<DeviceStats> device_stats_;
+    bool capture_rows_ = true;
+    std::size_t count_ = 0;
+    // Summary-only state (unused when capture_rows_).
+    serving::SummaryAccumulator aggregate_acc_;
+    std::vector<serving::SummaryAccumulator> device_accs_;
+    std::vector<serving::SummaryAccumulator> stream_accs_;
     double makespan_s_ = 0.0;
 };
 

@@ -35,6 +35,7 @@ EpisodeResult ExperimentHarness::run_episode(const Scenario& scenario,
         auto fleet_cfg = *scenario.fleet;
         if (arm.fleet_tweak) arm.fleet_tweak(fleet_cfg);
         fleet_cfg.seed = cfg.seed;
+        if (config_.summary_only) fleet_cfg.capture_rows = false;
         // The factory is invoked once per device by the engine, with
         // device-id-namespaced seeds derived from this root (the draw that
         // seeds the single governor of non-fleet episodes). Spec-dependent
@@ -65,6 +66,7 @@ EpisodeResult ExperimentHarness::run_episode(const Scenario& scenario,
         auto serving_cfg = *scenario.serving;
         if (arm.serving_tweak) arm.serving_tweak(serving_cfg);
         serving_cfg.seed = cfg.seed;
+        if (config_.summary_only) serving_cfg.capture_rows = false;
         // Non-learning governors need no warm-up (same rule as below).
         if (governor->decision_overhead_s() == 0.0) serving_cfg.pretrain_iterations = 0;
         const serving::ServingEngine engine(serving_cfg);

@@ -33,6 +33,11 @@ struct HarnessConfig {
     std::size_t jobs = 0;
     /// Root experiment seed; all episode seeds derive from it.
     std::uint64_t seed = 42;
+    /// Run serving/fleet episodes with summary-only traces (no per-request
+    /// ledger rows). Summaries and JSON/summary.csv output are bit-identical
+    /// to full-ledger runs; per-request CSV dumps and chart columns are
+    /// unavailable, so only enable when no such sink is attached.
+    bool summary_only = false;
 };
 
 /// Outcome of one (scenario, arm) episode.

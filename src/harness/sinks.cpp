@@ -7,6 +7,7 @@
 #include <set>
 
 #include "platform/presets.hpp"
+#include "prof/profiler.hpp"
 #include "util/ascii.hpp"
 #include "util/csv.hpp"
 
@@ -482,6 +483,13 @@ std::string scenario_json(const Scenario& scenario,
 void JsonSink::consume(const Scenario& scenario,
                        const std::vector<EpisodeResult>& results) {
     std::printf("%s\n", scenario_json(scenario, results).c_str());
+}
+
+void ProfileSink::consume(const Scenario& scenario,
+                          const std::vector<EpisodeResult>&) {
+    std::fprintf(stderr, "[profile] %s\n%s", scenario.name.c_str(),
+                 prof::report_text().c_str());
+    prof::reset();
 }
 
 } // namespace lotus::harness

@@ -103,4 +103,15 @@ public:
                  const std::vector<EpisodeResult>& results) override;
 };
 
+/// Prints the internal profiler's report (hierarchical region timings +
+/// counters, see src/prof/) to stderr after each scenario, then resets the
+/// profiler so successive scenarios do not blend into one report. stderr
+/// keeps stdout byte-identical for table/JSON consumers. Prints a one-line
+/// notice when the profiler is compiled out (-DLOTUS_PROFILING=OFF).
+class ProfileSink final : public ResultSink {
+public:
+    void consume(const Scenario& scenario,
+                 const std::vector<EpisodeResult>& results) override;
+};
+
 } // namespace lotus::harness

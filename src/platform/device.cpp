@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "prof/profiler.hpp"
+
 namespace lotus::platform {
 
 namespace {
@@ -114,6 +116,7 @@ double EdgeDevice::advance_segmented(double dt, double cpu_util, double gpu_util
                                      bool stop_on_level_change) {
     if (dt < 0.0) throw std::invalid_argument("EdgeDevice::advance: negative dt");
     if (dt == 0.0) return 0.0;
+    LOTUS_PROF_SCOPE("device.advance");
 
     const bool closed_form = spec_.thermal_stepping == ThermalStepping::closed_form;
     double remaining = dt;
@@ -150,6 +153,7 @@ double EdgeDevice::advance_segmented(double dt, double cpu_util, double gpu_util
             h = std::min(budget, kEulerSlice);
             thermal_.step(h, power, ambient_);
         }
+        LOTUS_PROF_COUNT("device.thermal_segments", 1);
         last_power_ = {p_cpu, p_gpu};
         energy_j_ += (p_cpu + p_gpu) * h;
         now_ += h;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "prof/profiler.hpp"
+
 namespace lotus::rl {
 
 namespace {
@@ -22,20 +24,29 @@ Huber huber(double residual, double delta) noexcept {
     return {delta * (a - 0.5 * delta), residual > 0 ? delta : -delta};
 }
 
+std::optional<DqnMath> g_forced_math;
+
 } // namespace
+
+void force_dqn_math(std::optional<DqnMath> mode) noexcept { g_forced_math = mode; }
+
+std::optional<DqnMath> forced_dqn_math() noexcept { return g_forced_math; }
 
 DqnCore::DqnCore(MlpConfig net_config, DqnConfig config)
     : config_(config),
       online_(net_config),
       target_(std::move(net_config)),
       optimizer_(online_, config.adam) {
+    if (g_forced_math) config_.math = *g_forced_math;
     target_.copy_parameters_from(online_);
 }
 
 int DqnCore::greedy_action(std::span<const double> state, double width) const {
-    const auto q = online_.forward(state, width);
-    const auto it = std::max_element(q.begin(), q.end());
-    return static_cast<int>(std::distance(q.begin(), it));
+    LOTUS_PROF_SCOPE("rl.act");
+    act_q_.assign(online_.output_dim(), 0.0);
+    online_.forward(state, width, act_q_, act_scratch_);
+    const auto it = std::max_element(act_q_.begin(), act_q_.end());
+    return static_cast<int>(std::distance(act_q_.begin(), it));
 }
 
 int DqnCore::act(std::span<const double> state, double width, double epsilon,
@@ -48,7 +59,14 @@ int DqnCore::act(std::span<const double> state, double width, double epsilon,
 }
 
 std::vector<double> DqnCore::q_values(std::span<const double> state, double width) const {
-    return online_.forward(state, width);
+    std::vector<double> q(online_.output_dim(), 0.0);
+    q_values(state, width, q);
+    return q;
+}
+
+void DqnCore::q_values(std::span<const double> state, double width,
+                       std::span<double> out) const {
+    online_.forward(state, width, out, act_scratch_);
 }
 
 double DqnCore::train_step(const ReplayBuffer& buffer, util::Rng& rng,
@@ -60,7 +78,16 @@ double DqnCore::train_step(const ReplayBuffer& buffer, util::Rng& rng,
 
 double DqnCore::train_batch(std::span<const Transition* const> batch) {
     if (batch.empty()) return -1.0;
+    LOTUS_PROF_SCOPE("rl.train_batch");
+    LOTUS_PROF_COUNT("rl.train_steps", 1);
+    return config_.math == DqnMath::scalar ? train_batch_scalar(batch)
+                                           : train_batch_batched(batch);
+}
 
+// Per-sample reference implementation: 2 x batch_size scalar forwards for
+// the bootstrap (target + double-DQN selection) plus one cached forward per
+// sample. Kept in-tree as the byte-identity oracle for the batched path.
+double DqnCore::train_batch_scalar(std::span<const Transition* const> batch) {
     double loss_acc = 0.0;
     std::vector<double> dout(online_.output_dim(), 0.0);
     ForwardCache cache;
@@ -94,6 +121,135 @@ double DqnCore::train_batch(std::span<const Transition* const> batch) {
         std::fill(dout.begin(), dout.end(), 0.0);
         dout[a] = grad * inv_n;
         online_.backward(cache, dout);
+    }
+
+    optimizer_.step(online_);
+    ++updates_;
+    if (config_.target_sync_every > 0 && updates_ % config_.target_sync_every == 0) {
+        sync_target();
+    }
+    return loss_acc * inv_n;
+}
+
+// Blocked implementation: the minibatch is partitioned by width (transitions
+// carry per-step widths, alternating 0.75x/1.0x under LOTUS) and each
+// width-group's forwards run as one Matrix::slice_matmul pass per layer --
+// the target-net bootstrap, the double-DQN a* selection and the online
+// current-state pass each cost one batched forward instead of one scalar
+// forward per transition. Per-sample backwards then walk the ORIGINAL batch
+// order, so gradient, mask and loss accumulation are bit-identical to
+// train_batch_scalar (enforced by tests/rl/test_batched_forward.cpp).
+double DqnCore::train_batch_batched(std::span<const Transition* const> batch) {
+    const std::size_t n = batch.size();
+    const double inv_n = 1.0 / static_cast<double>(n);
+    auto& ts = train_;
+
+    // Bootstrap values: one batched target (and, for double DQN, online
+    // selection) pass per distinct width_next over non-terminal transitions.
+    ts.bootstrap.assign(n, 0.0);
+    ts.widths.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (batch[i]->terminal) continue;
+        const double w = batch[i]->width_next;
+        if (std::find(ts.widths.begin(), ts.widths.end(), w) == ts.widths.end()) {
+            ts.widths.push_back(w);
+        }
+    }
+    for (const double w : ts.widths) {
+        ts.members.clear();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!batch[i]->terminal && batch[i]->width_next == w) ts.members.push_back(i);
+        }
+        const std::size_t m = ts.members.size();
+        const std::size_t in0 = target_.active_units(0, w);
+        ts.x.resize(m, in0);
+        for (std::size_t row = 0; row < m; ++row) {
+            const auto& s = batch[ts.members[row]]->next_state;
+            if (s.size() < in0) {
+                throw std::invalid_argument("DqnCore: next_state too short for width");
+            }
+            std::copy(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(in0),
+                      ts.x.row(row).begin());
+        }
+        target_.forward_batch(ts.x, m, w, ts.net_cache);
+        if (config_.double_dqn) {
+            online_.forward_batch(ts.x, m, w, ts.select_cache);
+            for (std::size_t row = 0; row < m; ++row) {
+                const auto qo = ts.select_cache.output.row(row);
+                const auto a_star = static_cast<std::size_t>(
+                    std::distance(qo.begin(), std::max_element(qo.begin(), qo.end())));
+                ts.bootstrap[ts.members[row]] = ts.net_cache.output(row, a_star);
+            }
+        } else {
+            for (std::size_t row = 0; row < m; ++row) {
+                const auto qn = ts.net_cache.output.row(row);
+                ts.bootstrap[ts.members[row]] = *std::max_element(qn.begin(), qn.end());
+            }
+        }
+    }
+
+    // Online forwards on the current states, grouped by width_state; each
+    // group keeps its own cache so the per-sample backwards below can read
+    // activations regardless of grouping order.
+    ts.widths.clear();
+    ts.group_of.assign(n, 0);
+    ts.row_of.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double w = batch[i]->width_state;
+        const auto it = std::find(ts.widths.begin(), ts.widths.end(), w);
+        if (it == ts.widths.end()) {
+            ts.group_of[i] = ts.widths.size();
+            ts.widths.push_back(w);
+        } else {
+            ts.group_of[i] = static_cast<std::size_t>(std::distance(ts.widths.begin(), it));
+        }
+    }
+    if (ts.online_caches.size() < ts.widths.size()) {
+        ts.online_caches.resize(ts.widths.size());
+    }
+    for (std::size_t g = 0; g < ts.widths.size(); ++g) {
+        const double w = ts.widths[g];
+        ts.members.clear();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (ts.group_of[i] == g) {
+                ts.row_of[i] = ts.members.size();
+                ts.members.push_back(i);
+            }
+        }
+        const std::size_t m = ts.members.size();
+        const std::size_t in0 = online_.active_units(0, w);
+        ts.x.resize(m, in0);
+        for (std::size_t row = 0; row < m; ++row) {
+            const auto& s = batch[ts.members[row]]->state;
+            if (s.size() < in0) {
+                throw std::invalid_argument("DqnCore: state too short for width");
+            }
+            std::copy(s.begin(), s.begin() + static_cast<std::ptrdiff_t>(in0),
+                      ts.x.row(row).begin());
+        }
+        online_.forward_batch(ts.x, m, w, ts.online_caches[g]);
+    }
+
+    // Loss and per-sample backward in the original batch order (bit-exact
+    // accumulation order).
+    double loss_acc = 0.0;
+    ts.dout.assign(online_.output_dim(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Transition* t = batch[i];
+        const double target_q = t->reward + config_.gamma * ts.bootstrap[i];
+        auto& cache = ts.online_caches[ts.group_of[i]];
+        const std::size_t row = ts.row_of[i];
+        const auto a = static_cast<std::size_t>(t->action);
+        if (a >= online_.output_dim()) {
+            throw std::out_of_range("DqnCore: action index out of range");
+        }
+        const auto [value, grad] = huber(cache.output(row, a) - target_q,
+                                         config_.huber_delta);
+        loss_acc += value;
+
+        std::fill(ts.dout.begin(), ts.dout.end(), 0.0);
+        ts.dout[a] = grad * inv_n;
+        online_.backward_row(cache, row, ts.dout, ts.backward);
     }
 
     optimizer_.step(online_);

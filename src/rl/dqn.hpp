@@ -9,6 +9,7 @@
 // targets (even step bootstraps at 1.0x, odd step at 0.75x).
 
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -18,6 +19,22 @@
 #include "util/rng.hpp"
 
 namespace lotus::rl {
+
+/// Which train_batch implementation a DqnCore uses. Both are bit-identical
+/// (enforced by tests/rl/test_batched_forward.cpp): `batched` runs the
+/// target-net / double-DQN / online forwards as width-grouped blocked
+/// matrix-matrix passes; `scalar` is the per-sample reference kept in-tree
+/// for byte-identity tests and perf A/B (mirroring the thermal stepper's
+/// euler_slice reference).
+enum class DqnMath { batched, scalar };
+
+/// Process-wide override of DqnConfig::math, applied at DqnCore
+/// construction (lets benches A/B whole scenarios without plumbing a flag
+/// through every governor factory). Not thread-safe against concurrently
+/// constructing cores -- set it while episodes are quiescent. std::nullopt
+/// restores per-config behaviour.
+void force_dqn_math(std::optional<DqnMath> mode) noexcept;
+[[nodiscard]] std::optional<DqnMath> forced_dqn_math() noexcept;
 
 struct DqnConfig {
     double gamma = 0.9;
@@ -31,6 +48,8 @@ struct DqnConfig {
     /// the paper uses the vanilla DQN of Mnih et al. 2015 -- but exposed as
     /// an extension (see bench_ablation_design).
     bool double_dqn = false;
+    /// train_batch implementation (see DqnMath; bit-identical either way).
+    DqnMath math = DqnMath::batched;
     AdamConfig adam;
 };
 
@@ -48,6 +67,10 @@ public:
     /// Q-values of the online network (full action dimension).
     [[nodiscard]] std::vector<double> q_values(std::span<const double> state,
                                                double width) const;
+
+    /// Allocation-free Q-values: writes into `out` (size = output_dim).
+    void q_values(std::span<const double> state, double width,
+                  std::span<double> out) const;
 
     /// One batched TD update from the given buffer. Returns the mean Huber
     /// loss, or a negative value when the buffer held fewer than
@@ -67,11 +90,35 @@ public:
     [[nodiscard]] const DqnConfig& config() const noexcept { return config_; }
 
 private:
+    double train_batch_scalar(std::span<const Transition* const> batch);
+    double train_batch_batched(std::span<const Transition* const> batch);
+
     DqnConfig config_;
     SlimmableMlp online_;
     SlimmableMlp target_;
     Adam optimizer_;
     std::size_t updates_ = 0;
+
+    // Scratch reused across calls to keep the hot path allocation-free once
+    // warm. A DqnCore is owned by one governor and each harness episode owns
+    // its governor (thread-per-episode, never shared), so mutable scratch
+    // behind the const acting API is safe.
+    mutable MlpScratch act_scratch_;
+    mutable std::vector<double> act_q_;
+    struct TrainScratch {
+        Matrix x;                           ///< packed states of one width group
+        BatchCache net_cache;               ///< target / double-DQN bootstrap pass
+        BatchCache select_cache;            ///< online a*-selection pass (double DQN)
+        std::vector<BatchCache> online_caches; ///< one per distinct width_state
+        std::vector<double> bootstrap;      ///< per batch index
+        std::vector<double> widths;         ///< distinct widths, first-seen order
+        std::vector<std::size_t> members;   ///< member indices of current group
+        std::vector<std::size_t> group_of;  ///< batch index -> width-group index
+        std::vector<std::size_t> row_of;    ///< batch index -> row within its group
+        std::vector<double> dout;
+        MlpScratch backward;
+    };
+    TrainScratch train_;
 };
 
 } // namespace lotus::rl

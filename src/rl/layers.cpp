@@ -1,5 +1,6 @@
 #include "rl/layers.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -14,7 +15,8 @@ SlimmableLinear::SlimmableLinear(std::size_t in_features, std::size_t out_featur
       gw_(out_features, in_features),
       gb_(out_features, 0.0),
       mask_w_(out_features * in_features, 0),
-      mask_b_(out_features, 0) {
+      mask_b_(out_features, 0),
+      marked_cols_(out_features, 0) {
     // Kaiming-uniform init over the *full* fan-in, matching common slimmable
     // network practice (the shared leading weights see both widths).
     const double bound = std::sqrt(6.0 / static_cast<double>(in_features));
@@ -26,24 +28,37 @@ void SlimmableLinear::forward(std::span<const double> x, std::span<double> y,
     Matrix::slice_matvec(w_, x, b_, y, out_active, in_active);
 }
 
+void SlimmableLinear::forward_batch(const Matrix& x, Matrix& y, std::size_t in_active,
+                                    std::size_t out_active,
+                                    std::size_t batch) const noexcept {
+    Matrix::slice_matmul(w_, x, b_, y, out_active, in_active, batch);
+}
+
 void SlimmableLinear::backward(std::span<const double> x, std::span<const double> dy,
                                std::span<double> dx, std::size_t in_active,
                                std::size_t out_active) noexcept {
     Matrix::slice_matvec_transposed(w_, dy, dx, out_active, in_active);
     Matrix::slice_outer_accumulate(gw_, dy, x, out_active, in_active);
+    for (std::size_t r = 0; r < out_active; ++r) gb_[r] += dy[r];
+    // Marking always covers the leading [0, in_active) span of each row, so
+    // the per-row high-water mark lets every backward call after the first
+    // (per batch, per width) skip the byte stores entirely.
     for (std::size_t r = 0; r < out_active; ++r) {
-        gb_[r] += dy[r];
-        mask_b_[r] = 1;
+        if (marked_cols_[r] >= in_active) continue;
         std::uint8_t* mrow = mask_w_.data() + r * in_;
-        for (std::size_t c = 0; c < in_active; ++c) mrow[c] = 1;
+        std::fill(mrow + marked_cols_[r], mrow + in_active, std::uint8_t{1});
+        marked_cols_[r] = static_cast<std::uint32_t>(in_active);
+        mask_b_[r] = 1;
     }
 }
 
 void SlimmableLinear::zero_grad() noexcept {
-    gw_.fill(0.0);
-    for (auto& g : gb_) g = 0.0;
-    for (auto& m : mask_w_) m = 0;
-    for (auto& m : mask_b_) m = 0;
+    auto gw = gw_.flat();
+    std::fill(gw.begin(), gw.end(), 0.0);
+    std::fill(gb_.begin(), gb_.end(), 0.0);
+    std::fill(mask_w_.begin(), mask_w_.end(), std::uint8_t{0});
+    std::fill(mask_b_.begin(), mask_b_.end(), std::uint8_t{0});
+    std::fill(marked_cols_.begin(), marked_cols_.end(), 0U);
 }
 
 void relu_inplace(std::span<double> x, std::size_t active) noexcept {

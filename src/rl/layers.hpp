@@ -34,6 +34,12 @@ public:
     void forward(std::span<const double> x, std::span<double> y,
                  std::size_t in_active, std::size_t out_active) const noexcept;
 
+    /// Batched forward: Y[k, 0:out_active] = W[0:out_active, 0:in_active]
+    /// X[k, 0:in_active] + b for every row k < batch. Bit-identical to
+    /// `batch` calls of forward() (see Matrix::slice_matmul).
+    void forward_batch(const Matrix& x, Matrix& y, std::size_t in_active,
+                       std::size_t out_active, std::size_t batch) const noexcept;
+
     /// Backprop for the same slice. `x` is the input that produced the
     /// forward pass, `dy` the upstream gradient (length out_active); writes
     /// `dx` (length in_active), accumulates weight/bias grads and marks the
@@ -65,6 +71,11 @@ private:
     std::vector<double> gb_;
     std::vector<std::uint8_t> mask_w_;
     std::vector<std::uint8_t> mask_b_;
+    /// Per-row high-water mark over mask_w_: marking always covers the
+    /// leading [0, in_active) span of a row, so one length per row lets
+    /// backward() skip rows already marked at this width or wider and fill
+    /// only the delta span otherwise. Reset by zero_grad().
+    std::vector<std::uint32_t> marked_cols_;
 };
 
 /// ReLU applied in place over the active prefix.

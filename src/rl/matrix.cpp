@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "prof/profiler.hpp"
+
 namespace lotus::rl {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
@@ -33,14 +35,91 @@ void Matrix::fill(double v) noexcept {
     for (auto& x : data_) x = v;
 }
 
+void Matrix::resize(std::size_t rows, std::size_t cols, double fill) {
+    if (rows == 0 || cols == 0) {
+        throw std::invalid_argument("Matrix::resize: zero dimension");
+    }
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, fill);
+}
+
 void Matrix::slice_matvec(const Matrix& a, std::span<const double> x,
                           std::span<const double> b, std::span<double> y,
                           std::size_t out, std::size_t in) noexcept {
+    LOTUS_PROF_COUNT("rl.matvec_calls", 1);
     for (std::size_t r = 0; r < out; ++r) {
         const double* wrow = a.data_.data() + r * a.cols_;
         double acc = b[r];
         for (std::size_t c = 0; c < in; ++c) acc += wrow[c] * x[c];
         y[r] = acc;
+    }
+}
+
+void Matrix::slice_matmul(const Matrix& a, const Matrix& x, std::span<const double> b,
+                          Matrix& y, std::size_t out, std::size_t in,
+                          std::size_t batch) noexcept {
+    LOTUS_PROF_COUNT("rl.matmul_calls", 1);
+    LOTUS_PROF_COUNT("rl.matmul_rows", batch);
+    // 2 batch rows x 4 output rows of accumulators live in registers; the
+    // reduction over c stays a single sequential chain per element, so no
+    // floating-point reassociation happens relative to slice_matvec.
+    std::size_t k = 0;
+    for (; k + 2 <= batch; k += 2) {
+        const double* x0 = x.data_.data() + k * x.cols_;
+        const double* x1 = x0 + x.cols_;
+        double* y0 = y.data_.data() + k * y.cols_;
+        double* y1 = y0 + y.cols_;
+        std::size_t r = 0;
+        for (; r + 4 <= out; r += 4) {
+            const double* w0 = a.data_.data() + r * a.cols_;
+            const double* w1 = w0 + a.cols_;
+            const double* w2 = w1 + a.cols_;
+            const double* w3 = w2 + a.cols_;
+            double a00 = b[r], a01 = b[r + 1], a02 = b[r + 2], a03 = b[r + 3];
+            double a10 = b[r], a11 = b[r + 1], a12 = b[r + 2], a13 = b[r + 3];
+            for (std::size_t c = 0; c < in; ++c) {
+                const double xv0 = x0[c];
+                const double xv1 = x1[c];
+                a00 += w0[c] * xv0;
+                a01 += w1[c] * xv0;
+                a02 += w2[c] * xv0;
+                a03 += w3[c] * xv0;
+                a10 += w0[c] * xv1;
+                a11 += w1[c] * xv1;
+                a12 += w2[c] * xv1;
+                a13 += w3[c] * xv1;
+            }
+            y0[r] = a00;
+            y0[r + 1] = a01;
+            y0[r + 2] = a02;
+            y0[r + 3] = a03;
+            y1[r] = a10;
+            y1[r + 1] = a11;
+            y1[r + 2] = a12;
+            y1[r + 3] = a13;
+        }
+        for (; r < out; ++r) {
+            const double* wrow = a.data_.data() + r * a.cols_;
+            double t0 = b[r];
+            double t1 = b[r];
+            for (std::size_t c = 0; c < in; ++c) {
+                t0 += wrow[c] * x0[c];
+                t1 += wrow[c] * x1[c];
+            }
+            y0[r] = t0;
+            y1[r] = t1;
+        }
+    }
+    for (; k < batch; ++k) {
+        const double* xrow = x.data_.data() + k * x.cols_;
+        double* yrow = y.data_.data() + k * y.cols_;
+        for (std::size_t r = 0; r < out; ++r) {
+            const double* wrow = a.data_.data() + r * a.cols_;
+            double acc = b[r];
+            for (std::size_t c = 0; c < in; ++c) acc += wrow[c] * xrow[c];
+            yrow[r] = acc;
+        }
     }
 }
 

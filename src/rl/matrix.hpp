@@ -40,11 +40,26 @@ public:
 
     void fill(double v) noexcept;
 
+    /// Reshape in place to rows x cols, filling every element; reuses the
+    /// underlying capacity (hot-path scratch matrices reallocate only to
+    /// grow). Throws like the constructor on a zero dimension.
+    void resize(std::size_t rows, std::size_t cols, double fill = 0.0);
+
     /// y = A[0:out, 0:in] * x[0:in] + b[0:out]; the slicing is what makes the
     /// layer "slimmable" (only the leading sub-matrix participates).
     static void slice_matvec(const Matrix& a, std::span<const double> x,
                              std::span<const double> b, std::span<double> y,
                              std::size_t out, std::size_t in) noexcept;
+
+    /// Y[k, 0:out] = A[0:out, 0:in] * X[k, 0:in] + b[0:out] for every row
+    /// k < batch. Register-blocked over (batch rows x output rows) with
+    /// contiguous-row accesses, but every output element's reduction runs
+    /// over c in ascending order starting from b[r] -- each result is
+    /// bit-identical to `batch` separate slice_matvec calls. X and Y may
+    /// have more columns than in/out; only the leading slices are touched.
+    static void slice_matmul(const Matrix& a, const Matrix& x, std::span<const double> b,
+                             Matrix& y, std::size_t out, std::size_t in,
+                             std::size_t batch) noexcept;
 
     /// x_grad[0:in] = A[0:out, 0:in]^T * y_grad[0:out].
     static void slice_matvec_transposed(const Matrix& a, std::span<const double> y_grad,

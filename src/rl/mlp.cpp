@@ -39,9 +39,80 @@ std::size_t SlimmableMlp::active_units(std::size_t boundary, double width) const
 }
 
 std::vector<double> SlimmableMlp::forward(std::span<const double> x, double width) const {
-    ForwardCache cache;
-    forward_cached(x, width, cache);
-    return std::move(cache.output);
+    std::vector<double> out(output_dim(), 0.0);
+    MlpScratch scratch;
+    forward(x, width, out, scratch);
+    return out;
+}
+
+void SlimmableMlp::forward(std::span<const double> x, double width,
+                           std::span<double> out, MlpScratch& scratch) const {
+    const std::size_t in0 = active_units(0, width);
+    if (x.size() < in0) {
+        throw std::invalid_argument("SlimmableMlp: input too short for active width");
+    }
+    if (out.size() != output_dim()) {
+        throw std::invalid_argument("SlimmableMlp::forward: output size mismatch");
+    }
+    scratch.a.assign(x.begin(), x.begin() + static_cast<std::ptrdiff_t>(in0));
+    auto* cur = &scratch.a;
+    auto* next = &scratch.b;
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const std::size_t in_active = active_units(l, width);
+        const std::size_t out_active = active_units(l + 1, width);
+        next->assign(out_active, 0.0);
+        layers_[l].forward(*cur, *next, in_active, out_active);
+        if (l + 1 < layers_.size()) {
+            relu_inplace(*next, out_active);
+        }
+        std::swap(cur, next);
+    }
+    std::fill(out.begin(), out.end(), 0.0);
+    std::copy(cur->begin(), cur->end(), out.begin());
+}
+
+void SlimmableMlp::forward_batch(const Matrix& x, std::size_t batch, double width,
+                                 BatchCache& cache) const {
+    const std::size_t in0 = active_units(0, width);
+    if (x.cols() < in0 || x.rows() < batch || batch == 0) {
+        throw std::invalid_argument("SlimmableMlp::forward_batch: bad input shape");
+    }
+    cache.width = width;
+    cache.batch = batch;
+    cache.inputs.resize(layers_.size());
+    cache.pre.resize(layers_.size());
+
+    cache.inputs[0].resize(batch, in0);
+    for (std::size_t k = 0; k < batch; ++k) {
+        const auto src = x.row(k);
+        std::copy(src.begin(), src.begin() + static_cast<std::ptrdiff_t>(in0),
+                  cache.inputs[0].row(k).begin());
+    }
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+        const std::size_t in_active = active_units(l, width);
+        const std::size_t out_active = active_units(l + 1, width);
+        cache.pre[l].resize(batch, out_active);
+        layers_[l].forward_batch(cache.inputs[l], cache.pre[l], in_active, out_active,
+                                 batch);
+        if (l + 1 < layers_.size()) {
+            auto& next_in = cache.inputs[l + 1];
+            next_in.resize(batch, out_active);
+            auto src = cache.pre[l].flat();
+            auto dst = next_in.flat();
+            std::copy(src.begin(), src.end(), dst.begin());
+            relu_inplace(dst, dst.size());
+        }
+    }
+
+    // Expand to the full output dimension per row; at full (or non-slim)
+    // output width this is the identity.
+    const std::size_t out_last = active_units(layers_.size(), width);
+    cache.output.resize(batch, output_dim(), 0.0);
+    for (std::size_t k = 0; k < batch; ++k) {
+        const auto src = cache.pre.back().row(k);
+        std::copy(src.begin(), src.begin() + static_cast<std::ptrdiff_t>(out_last),
+                  cache.output.row(k).begin());
+    }
 }
 
 void SlimmableMlp::forward_cached(std::span<const double> x, double width,
@@ -93,6 +164,33 @@ void SlimmableMlp::backward(const ForwardCache& cache, std::span<const double> d
         std::vector<double> dx(in_active, 0.0);
         layers_[li].backward(cache.inputs[li], dy, dx, in_active, out_active);
         dy = std::move(dx);
+    }
+}
+
+void SlimmableMlp::backward_row(const BatchCache& cache, std::size_t row,
+                                std::span<const double> dout, MlpScratch& scratch) {
+    if (dout.size() != output_dim()) {
+        throw std::invalid_argument("SlimmableMlp::backward_row: dout size mismatch");
+    }
+    if (row >= cache.batch) {
+        throw std::out_of_range("SlimmableMlp::backward_row: row out of range");
+    }
+    const double width = cache.width;
+    const std::size_t last = layers_.size() - 1;
+
+    scratch.a.assign(dout.begin(), dout.begin() + static_cast<std::ptrdiff_t>(
+                                       active_units(last + 1, width)));
+    auto* dy = &scratch.a;
+    auto* dx = &scratch.b;
+    for (std::size_t li = layers_.size(); li-- > 0;) {
+        const std::size_t in_active = active_units(li, width);
+        const std::size_t out_active = active_units(li + 1, width);
+        if (li != last) {
+            relu_backward(cache.pre[li].row(row), *dy, out_active);
+        }
+        dx->assign(in_active, 0.0);
+        layers_[li].backward(cache.inputs[li].row(row), *dy, *dx, in_active, out_active);
+        std::swap(dy, dx);
     }
 }
 

@@ -39,6 +39,27 @@ struct ForwardCache {
     std::vector<double> output;
 };
 
+/// Two reusable ping-pong buffers for the allocation-free forward() and
+/// backward_row() overloads; reallocation stops once warm.
+struct MlpScratch {
+    std::vector<double> a;
+    std::vector<double> b;
+};
+
+/// Activations for a whole minibatch (row k = sample k), captured by
+/// forward_batch for per-row backward_row() calls. Matrices are resized in
+/// place, so a reused cache is allocation-free once warm.
+struct BatchCache {
+    double width = 1.0;
+    std::size_t batch = 0;
+    /// inputs[l]: batch x active_units(l) inputs fed to layer l.
+    std::vector<Matrix> inputs;
+    /// pre[l]: batch x active_units(l+1) pre-activation outputs of layer l.
+    std::vector<Matrix> pre;
+    /// batch x output_dim final outputs (expanded like ForwardCache::output).
+    Matrix output;
+};
+
 class SlimmableMlp {
 public:
     explicit SlimmableMlp(MlpConfig config);
@@ -57,12 +78,31 @@ public:
     /// (extra features are simply not read at reduced width).
     [[nodiscard]] std::vector<double> forward(std::span<const double> x, double width) const;
 
+    /// Allocation-free forward: writes the full-output-dim result into `out`
+    /// (size output_dim) using caller-owned scratch. Bit-identical to the
+    /// vector-returning overload.
+    void forward(std::span<const double> x, double width, std::span<double> out,
+                 MlpScratch& scratch) const;
+
     /// Forward pass that records activations for a subsequent backward().
     void forward_cached(std::span<const double> x, double width, ForwardCache& cache) const;
+
+    /// Batched forward over the leading `batch` rows of X (each row one
+    /// sample; X must have at least active_units(0, width) columns). Records
+    /// per-layer activations for backward_row(); every row of cache.output
+    /// is bit-identical to forward() on that sample.
+    void forward_batch(const Matrix& x, std::size_t batch, double width,
+                       BatchCache& cache) const;
 
     /// Accumulate parameter gradients for dL/d(output) = `dout` (full output
     /// dimension; entries for actions you do not want to train must be 0).
     void backward(const ForwardCache& cache, std::span<const double> dout);
+
+    /// Backward for one sample of a BatchCache. Gradient accumulation order
+    /// is the caller's row order; walking rows in original batch order makes
+    /// the accumulated grads bit-identical to per-sample backward() calls.
+    void backward_row(const BatchCache& cache, std::size_t row,
+                      std::span<const double> dout, MlpScratch& scratch);
 
     void zero_grad() noexcept;
 

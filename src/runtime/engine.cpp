@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "prof/profiler.hpp"
+
 namespace lotus::runtime {
 
 namespace {
@@ -156,6 +158,8 @@ FrameResult InferenceEngine::run_frame(const detector::DetectorModel& model,
     if (queue_wait_s < 0.0) {
         throw std::invalid_argument("run_frame: negative queue wait");
     }
+    LOTUS_PROF_SCOPE("engine.run_frame");
+    LOTUS_PROF_COUNT("engine.frames", 1);
     bind(governor);
 
     FrameResult result;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "prof/profiler.hpp"
 #include "runtime/engine.hpp"
 #include "serving/scheduler.hpp"
 #include "util/rng.hpp"
@@ -83,6 +84,7 @@ std::vector<Request> ServingEngine::build_requests() const {
 }
 
 ServingTrace ServingEngine::run(governors::Governor& governor) const {
+    LOTUS_PROF_SCOPE("serving.run");
     platform::EdgeDevice device(config_.device_spec);
     device.set_ambient(config_.ambient_celsius);
     runtime::InferenceEngine engine(device, config_.engine);
@@ -111,7 +113,7 @@ ServingTrace ServingEngine::run(governors::Governor& governor) const {
     names.reserve(config_.streams.size());
     for (const auto& s : config_.streams) names.push_back(s.name);
 
-    ServingTrace trace(std::move(names));
+    ServingTrace trace(std::move(names), config_.capture_rows);
     trace.reserve(requests.size());
     RequestQueue queue;
     std::size_t next_arrival = 0;
@@ -152,6 +154,8 @@ ServingTrace ServingEngine::run(governors::Governor& governor) const {
         auto decision = scheduler->pick(queue, now, expected_service);
         for (auto& r : decision.shed) record_shed(std::move(r), now);
         if (!decision.next) continue;
+        LOTUS_PROF_SCOPE("serving.dispatch");
+        LOTUS_PROF_COUNT("serving.requests", 1);
 
         Request req = std::move(*decision.next);
         // Admission tolerates kTimeEps of clock shortfall; never report a

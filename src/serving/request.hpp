@@ -81,6 +81,10 @@ struct ServingConfig {
     /// id. Empty (the single-device default) reproduces the historical seed
     /// derivation exactly.
     std::string instance;
+    /// Materialise the per-request ledger. Turn off for the summary-only
+    /// fast path (bit-identical summaries, no per-row storage) when no CSV
+    /// dump or chart column extraction is needed.
+    bool capture_rows = true;
 };
 
 } // namespace lotus::serving

@@ -8,14 +8,65 @@
 
 namespace lotus::serving {
 
-ServingTrace::ServingTrace(std::vector<std::string> stream_names)
-    : stream_names_(std::move(stream_names)) {}
+void SummaryAccumulator::add(const ServingRecord& record) {
+    ++requests_;
+    const double dev = 0.5 * (record.cpu_temp + record.gpu_temp);
+    device_temp_.add(dev);
+    peak_device_temp_c_ = std::max(peak_device_temp_c_, dev);
+    if (record.shed) {
+        ++shed_;
+    } else {
+        ++served_;
+        served_e2e_ms_.push_back(record.e2e_s * 1e3);
+        wait_ms_.add(record.queue_wait_s * 1e3);
+        served_energy_j_ += record.energy_j;
+    }
+    if (record.missed) ++missed_;
+}
+
+ServingSummary SummaryAccumulator::summarize(std::string label, double makespan_s) const {
+    ServingSummary s;
+    s.stream = std::move(label);
+    s.requests = requests_;
+    if (requests_ == 0) return s;
+
+    s.served = served_;
+    s.shed = shed_;
+    s.missed = missed_;
+    s.peak_device_temp_c = peak_device_temp_c_;
+    if (!served_e2e_ms_.empty()) {
+        const auto pct = util::percentiles(served_e2e_ms_, {50.0, 95.0, 99.0});
+        s.p50_ms = pct[0];
+        s.p95_ms = pct[1];
+        s.p99_ms = pct[2];
+    }
+    s.mean_wait_ms = wait_ms_.mean();
+    s.miss_rate = static_cast<double>(s.missed) / static_cast<double>(s.requests);
+    s.shed_rate = static_cast<double>(s.shed) / static_cast<double>(s.requests);
+    s.throughput_rps =
+        makespan_s > 0.0 ? static_cast<double>(s.served) / makespan_s : 0.0;
+    s.energy_per_req_j =
+        s.served > 0 ? served_energy_j_ / static_cast<double>(s.served) : 0.0;
+    s.mean_device_temp_c = device_temp_.mean();
+    return s;
+}
+
+ServingTrace::ServingTrace(std::vector<std::string> stream_names, bool capture_rows)
+    : stream_names_(std::move(stream_names)), capture_rows_(capture_rows) {
+    if (!capture_rows_) stream_accs_.resize(stream_names_.size());
+}
 
 void ServingTrace::add(ServingRecord record) {
     if (record.stream >= stream_names_.size()) {
         throw std::out_of_range("ServingTrace::add: unknown stream index");
     }
-    records_.push_back(std::move(record));
+    ++count_;
+    if (capture_rows_) {
+        records_.push_back(std::move(record));
+        return;
+    }
+    aggregate_acc_.add(record);
+    stream_accs_[record.stream].add(record);
 }
 
 ServingSummary ServingTrace::summarize(const std::vector<const ServingRecord*>& rows,
@@ -63,6 +114,9 @@ ServingSummary ServingTrace::stream_summary(std::size_t stream) const {
     if (stream >= stream_names_.size()) {
         throw std::out_of_range("ServingTrace::stream_summary: unknown stream index");
     }
+    if (!capture_rows_) {
+        return stream_accs_[stream].summarize(stream_names_[stream], makespan_s_);
+    }
     std::vector<const ServingRecord*> rows;
     for (const auto& r : records_) {
         if (r.stream == stream) rows.push_back(&r);
@@ -71,10 +125,15 @@ ServingSummary ServingTrace::stream_summary(std::size_t stream) const {
 }
 
 ServingSummary ServingTrace::aggregate() const {
-    std::vector<const ServingRecord*> rows;
-    rows.reserve(records_.size());
-    for (const auto& r : records_) rows.push_back(&r);
-    auto s = summarize(rows, "all");
+    ServingSummary s;
+    if (!capture_rows_) {
+        s = aggregate_acc_.summarize("all", makespan_s_);
+    } else {
+        std::vector<const ServingRecord*> rows;
+        rows.reserve(records_.size());
+        for (const auto& r : records_) rows.push_back(&r);
+        s = summarize(rows, "all");
+    }
     // Charge the whole device energy (idle included) to the served load.
     if (s.served > 0 && total_energy_j_ > 0.0) {
         s.energy_per_req_j = total_energy_j_ / static_cast<double>(s.served);
@@ -107,6 +166,10 @@ std::vector<double> ServingTrace::device_temps() const {
 }
 
 void ServingTrace::write_csv(const std::string& path) const {
+    if (!capture_rows_) {
+        throw std::logic_error(
+            "ServingTrace::write_csv: summary-only trace holds no ledger rows");
+    }
     util::CsvWriter csv(path, {"request_id", "stream", "arrival_s", "start_s",
                                "queue_wait_ms", "service_ms", "e2e_ms", "slo_ms", "shed",
                                "missed", "throttled", "proposals", "cpu_temp", "gpu_temp",

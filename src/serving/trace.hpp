@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "util/stats.hpp"
+
 namespace lotus::serving {
 
 /// The single SLO boundary rule of the repo: a request exactly on its SLO
@@ -71,16 +73,54 @@ struct ServingSummary {
     double peak_device_temp_c = 0.0;
 };
 
+/// Streaming replacement for the ledger-scan arithmetic of
+/// ServingTrace::summarize. Feed it records in ledger order and it produces
+/// a ServingSummary whose every derived double is bit-identical to a scan of
+/// the same rows: the Welford statistics see the same add order, the
+/// percentile input vector holds the same values in the same order, and the
+/// peak/energy reductions run the same max/sum chains. Only the served
+/// end-to-end latencies are retained (percentiles need the full sample);
+/// everything else is O(1) state.
+class SummaryAccumulator {
+public:
+    void add(const ServingRecord& record);
+    /// Summary over everything added so far (same arithmetic as
+    /// ServingTrace::summarize over the equivalent row set).
+    [[nodiscard]] ServingSummary summarize(std::string label, double makespan_s) const;
+
+    [[nodiscard]] std::size_t requests() const noexcept { return requests_; }
+    [[nodiscard]] std::size_t served() const noexcept { return served_; }
+
+private:
+    std::size_t requests_ = 0;
+    std::size_t served_ = 0;
+    std::size_t shed_ = 0;
+    std::size_t missed_ = 0;
+    std::vector<double> served_e2e_ms_;
+    util::RunningStats wait_ms_;
+    util::RunningStats device_temp_;
+    double peak_device_temp_c_ = 0.0;
+    double served_energy_j_ = 0.0;
+};
+
 class ServingTrace {
 public:
     ServingTrace() = default;
-    explicit ServingTrace(std::vector<std::string> stream_names);
+    /// `capture_rows = false` selects the summary-only fast path: add() feeds
+    /// streaming accumulators instead of materialising ServingRecord rows, so
+    /// summaries stay bit-identical while the per-request ledger (records(),
+    /// write_csv, chart columns) is unavailable.
+    explicit ServingTrace(std::vector<std::string> stream_names, bool capture_rows = true);
 
     void add(ServingRecord record);
-    void reserve(std::size_t n) { records_.reserve(n); }
+    void reserve(std::size_t n) {
+        if (capture_rows_) records_.reserve(n);
+    }
 
-    [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
-    [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+    [[nodiscard]] bool capture_rows() const noexcept { return capture_rows_; }
+    /// Requests added (counted in both capture modes).
+    [[nodiscard]] std::size_t size() const noexcept { return count_; }
+    [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
     [[nodiscard]] const ServingRecord& operator[](std::size_t i) const { return records_[i]; }
     [[nodiscard]] const std::vector<ServingRecord>& records() const noexcept {
         return records_;
@@ -111,10 +151,12 @@ public:
     [[nodiscard]] std::vector<ServingSummary> all_summaries() const;
 
     // Column extraction for charts (request order == completion order).
+    // Empty in summary-only mode.
     [[nodiscard]] std::vector<double> e2e_ms() const;
     [[nodiscard]] std::vector<double> device_temps() const;
 
-    /// Dump the per-request ledger as CSV.
+    /// Dump the per-request ledger as CSV. Throws std::logic_error in
+    /// summary-only mode (there is no ledger to dump).
     void write_csv(const std::string& path) const;
 
 private:
@@ -123,6 +165,11 @@ private:
 
     std::vector<std::string> stream_names_;
     std::vector<ServingRecord> records_;
+    bool capture_rows_ = true;
+    std::size_t count_ = 0;
+    // Summary-only state (unused when capture_rows_).
+    SummaryAccumulator aggregate_acc_;
+    std::vector<SummaryAccumulator> stream_accs_;
     double makespan_s_ = 0.0;
     double total_energy_j_ = 0.0;
     std::size_t max_queue_depth_ = 0;

@@ -1,0 +1,319 @@
+// Byte-identity tests for the batched/blocked RL math (the hot-path perf
+// layer): Matrix::slice_matmul versus slice_matvec, the scratch-buffer and
+// batched SlimmableMlp forwards versus the per-sample path, and full
+// DqnCore::train_batch equivalence -- identical losses, Q-values and
+// post-training parameters between DqnMath::scalar and DqnMath::batched
+// across widths, batch sizes and slimmable active dims (including ragged
+// out_active < out_ via slim_output). "Identical" here means bitwise: the
+// batched kernels restructure the loops but never the per-element reduction
+// order, so every double must match exactly, not approximately.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "rl/dqn.hpp"
+#include "rl/layers.hpp"
+#include "rl/matrix.hpp"
+#include "rl/mlp.hpp"
+#include "rl/replay.hpp"
+#include "util/rng.hpp"
+
+namespace lotus::rl {
+namespace {
+
+[[nodiscard]] Matrix random_matrix(std::size_t rows, std::size_t cols, util::Rng& rng) {
+    Matrix m(rows, cols);
+    for (auto& v : m.flat()) v = rng.uniform(-1.0, 1.0);
+    return m;
+}
+
+[[nodiscard]] std::vector<double> random_vector(std::size_t n, util::Rng& rng) {
+    std::vector<double> v(n);
+    for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+    return v;
+}
+
+void expect_bitwise_eq(std::span<const double> a, std::span<const double> b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(std::memcmp(&a[i], &b[i], sizeof(double)), 0)
+            << "element " << i << ": " << a[i] << " vs " << b[i];
+    }
+}
+
+TEST(SliceMatmul, BitIdenticalToMatvecAcrossShapes) {
+    util::Rng rng(7);
+    // Shapes chosen to hit every tail path of the 2x4 register blocking:
+    // batch in {1,2,3,5,8}, out in {1,3,4,6,48}, plus oversized X/Y columns.
+    const struct {
+        std::size_t out, in, batch;
+    } shapes[] = {{1, 1, 1}, {3, 5, 2},  {4, 7, 3},   {6, 6, 5},
+                  {48, 7, 8}, {5, 128, 4}, {128, 96, 2}, {9, 13, 7}};
+    for (const auto& s : shapes) {
+        const Matrix a = random_matrix(s.out, s.in + 2, rng); // wider than `in`
+        const Matrix x = random_matrix(s.batch, s.in + 1, rng);
+        const auto b = random_vector(s.out, rng);
+        Matrix y_batched(s.batch, s.out + 1, -99.0); // oversized, poisoned
+        Matrix::slice_matmul(a, x, b, y_batched, s.out, s.in, s.batch);
+
+        std::vector<double> y_ref(s.out);
+        for (std::size_t k = 0; k < s.batch; ++k) {
+            Matrix::slice_matvec(a, x.row(k), b, y_ref, s.out, s.in);
+            expect_bitwise_eq(y_ref, y_batched.row(k).first(s.out));
+            // Columns beyond `out` stay untouched.
+            EXPECT_EQ(y_batched(k, s.out), -99.0);
+        }
+    }
+}
+
+TEST(MlpScratchForward, BitIdenticalToVectorForward) {
+    for (const bool slim_output : {false, true}) {
+        MlpConfig cfg;
+        cfg.dims = {7, 19, 13, 48};
+        cfg.slim_output = slim_output;
+        cfg.seed = 11;
+        const SlimmableMlp net(cfg);
+        util::Rng rng(3);
+        MlpScratch scratch;
+        std::vector<double> out(net.output_dim(), 0.0);
+        for (const double width : {0.5, 0.75, 1.0}) {
+            for (int rep = 0; rep < 4; ++rep) {
+                const auto x = random_vector(7, rng);
+                const auto ref = net.forward(x, width);
+                net.forward(x, width, out, scratch);
+                expect_bitwise_eq(ref, out);
+            }
+        }
+    }
+}
+
+TEST(MlpForwardBatch, BitIdenticalToPerSampleForward) {
+    for (const bool slim_output : {false, true}) {
+        MlpConfig cfg;
+        cfg.dims = {7, 33, 17, 48};
+        cfg.slim_output = slim_output; // ragged out_active < out_ when true
+        cfg.seed = 23;
+        const SlimmableMlp net(cfg);
+        util::Rng rng(5);
+        BatchCache cache; // reused across widths: resize paths exercised
+        for (const double width : {0.6, 0.75, 1.0}) {
+            for (const std::size_t batch : {std::size_t{1}, std::size_t{2},
+                                            std::size_t{5}, std::size_t{32}}) {
+                Matrix x = random_matrix(batch, 7, rng);
+                net.forward_batch(x, batch, width, cache);
+                ASSERT_EQ(cache.batch, batch);
+                for (std::size_t k = 0; k < batch; ++k) {
+                    const auto ref = net.forward(x.row(k), width);
+                    expect_bitwise_eq(ref, cache.output.row(k));
+                }
+            }
+        }
+    }
+}
+
+TEST(MlpBackwardRow, BitIdenticalGradsToPerSampleBackward) {
+    MlpConfig cfg;
+    cfg.dims = {7, 21, 48};
+    cfg.seed = 31;
+    SlimmableMlp scalar_net(cfg);
+    SlimmableMlp batched_net(cfg); // same seed -> same init
+    util::Rng rng(13);
+    const std::size_t batch = 6;
+    const double width = 0.75;
+
+    Matrix x = random_matrix(batch, 7, rng);
+    std::vector<std::vector<double>> douts;
+    for (std::size_t k = 0; k < batch; ++k) {
+        douts.push_back(random_vector(scalar_net.output_dim(), rng));
+    }
+
+    ForwardCache fc;
+    for (std::size_t k = 0; k < batch; ++k) {
+        scalar_net.forward_cached(x.row(k), width, fc);
+        scalar_net.backward(fc, douts[k]);
+    }
+
+    BatchCache bc;
+    MlpScratch scratch;
+    batched_net.forward_batch(x, batch, width, bc);
+    for (std::size_t k = 0; k < batch; ++k) {
+        batched_net.backward_row(bc, k, douts[k], scratch);
+    }
+
+    for (std::size_t l = 0; l < scalar_net.num_layers(); ++l) {
+        auto& sl = scalar_net.layers()[l];
+        auto& bl = batched_net.layers()[l];
+        expect_bitwise_eq(sl.grad_weights().flat(), bl.grad_weights().flat());
+        expect_bitwise_eq(sl.grad_bias(), bl.grad_bias());
+        const auto sm = sl.weight_mask();
+        const auto bm = bl.weight_mask();
+        ASSERT_EQ(sm.size(), bm.size());
+        EXPECT_EQ(std::memcmp(sm.data(), bm.data(), sm.size()), 0);
+    }
+}
+
+// The mask high-water-mark optimisation must mark exactly the union of the
+// leading spans touched across a batch of mixed widths.
+TEST(SlimmableLinearMask, PrefixMarkingMatchesBruteForce) {
+    util::Rng rng(17);
+    SlimmableLinear layer(8, 6, rng);
+    std::vector<double> dx(8, 0.0);
+    const auto x = random_vector(8, rng);
+    const auto dy = random_vector(6, rng);
+
+    // Narrow, wide, then narrow again: the second narrow call must not
+    // unmark anything, the wide call must extend every row span.
+    const struct {
+        std::size_t in_active, out_active;
+    } calls[] = {{4, 3}, {8, 6}, {4, 3}, {6, 5}};
+    std::vector<std::uint8_t> expect_w(8 * 6, 0);
+    std::vector<std::uint8_t> expect_b(6, 0);
+    for (const auto& call : calls) {
+        layer.backward(x, std::span<const double>(dy).first(call.out_active),
+                       std::span<double>(dx).first(call.in_active), call.in_active,
+                       call.out_active);
+        for (std::size_t r = 0; r < call.out_active; ++r) {
+            expect_b[r] = 1;
+            for (std::size_t c = 0; c < call.in_active; ++c) expect_w[r * 8 + c] = 1;
+        }
+    }
+    const auto mw = layer.weight_mask();
+    const auto mb = layer.bias_mask();
+    EXPECT_EQ(std::memcmp(mw.data(), expect_w.data(), expect_w.size()), 0);
+    EXPECT_EQ(std::memcmp(mb.data(), expect_b.data(), expect_b.size()), 0);
+
+    // zero_grad resets the high-water marks too: a narrow backward after it
+    // must mark the narrow prefix again from scratch.
+    layer.zero_grad();
+    for (const auto m : layer.weight_mask()) ASSERT_EQ(m, 0);
+    layer.backward(x, std::span<const double>(dy).first(2),
+                   std::span<double>(dx).first(3), 3, 2);
+    for (std::size_t r = 0; r < 6; ++r) {
+        for (std::size_t c = 0; c < 8; ++c) {
+            EXPECT_EQ(layer.weight_mask()[r * 8 + c], (r < 2 && c < 3) ? 1 : 0);
+        }
+    }
+}
+
+[[nodiscard]] Transition make_transition(util::Rng& rng, std::size_t state_dim,
+                                         std::size_t actions, double width_state,
+                                         double width_next, bool terminal) {
+    Transition t;
+    t.state = random_vector(state_dim, rng);
+    t.next_state = random_vector(state_dim, rng);
+    t.action = static_cast<int>(rng.uniform_int(0, static_cast<std::int64_t>(actions) - 1));
+    t.reward = rng.uniform(-1.0, 1.0);
+    t.terminal = terminal;
+    t.width_state = width_state;
+    t.width_next = width_next;
+    return t;
+}
+
+struct DqnCase {
+    bool double_dqn;
+    bool slim_output;
+    std::size_t batch_size;
+};
+
+class DqnMathEquivalence : public ::testing::TestWithParam<DqnCase> {};
+
+// The full gate: scalar and batched DqnCores fed identical transition
+// streams must agree bitwise on every loss, every Q-value and every
+// parameter after several optimizer steps (including a target-net sync).
+TEST_P(DqnMathEquivalence, TrainBatchBitIdentical) {
+    const auto param = GetParam();
+    MlpConfig net;
+    net.dims = {7, 24, 16, 48};
+    net.slim_output = param.slim_output;
+    net.seed = 41;
+
+    DqnConfig cfg;
+    cfg.gamma = 0.9;
+    cfg.target_sync_every = 3; // force a sync mid-test
+    cfg.double_dqn = param.double_dqn;
+
+    cfg.math = DqnMath::scalar;
+    DqnCore scalar_core(net, cfg);
+    cfg.math = DqnMath::batched;
+    DqnCore batched_core(net, cfg);
+
+    util::Rng rng(97);
+    // Mixed widths alternating like LOTUS' even/odd steps, plus terminals
+    // and a lone off-grid width to force a third bucket.
+    std::vector<Transition> pool;
+    for (std::size_t i = 0; i < 64; ++i) {
+        const double ws = (i % 2 == 0) ? 1.0 : 0.75;
+        const double wn = (i % 2 == 0) ? 0.75 : 1.0;
+        pool.push_back(make_transition(rng, 7, 48, i % 7 == 3 ? 0.5 : ws, wn,
+                                       i % 5 == 0));
+    }
+
+    std::size_t cursor = 0;
+    for (int step = 0; step < 8; ++step) {
+        std::vector<const Transition*> batch;
+        for (std::size_t i = 0; i < param.batch_size; ++i) {
+            batch.push_back(&pool[cursor]);
+            cursor = (cursor + 1) % pool.size();
+        }
+        const double scalar_loss = scalar_core.train_batch(batch);
+        const double batched_loss = batched_core.train_batch(batch);
+        EXPECT_EQ(std::memcmp(&scalar_loss, &batched_loss, sizeof(double)), 0)
+            << "step " << step << ": " << scalar_loss << " vs " << batched_loss;
+    }
+
+    for (std::size_t l = 0; l < scalar_core.online().num_layers(); ++l) {
+        const auto& sl = scalar_core.online().layers()[l];
+        const auto& bl = batched_core.online().layers()[l];
+        expect_bitwise_eq(sl.weights().flat(), bl.weights().flat());
+        expect_bitwise_eq(sl.bias(), bl.bias());
+        const auto& st = scalar_core.target().layers()[l];
+        const auto& bt = batched_core.target().layers()[l];
+        expect_bitwise_eq(st.weights().flat(), bt.weights().flat());
+    }
+
+    const auto probe = random_vector(7, rng);
+    for (const double width : {0.75, 1.0}) {
+        expect_bitwise_eq(scalar_core.q_values(probe, width),
+                          batched_core.q_values(probe, width));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndBatchSizes, DqnMathEquivalence,
+    ::testing::Values(DqnCase{false, false, 32}, DqnCase{true, false, 32},
+                      DqnCase{false, true, 32}, DqnCase{true, true, 7},
+                      DqnCase{false, false, 1}, DqnCase{true, false, 5}),
+    [](const ::testing::TestParamInfo<DqnCase>& info) {
+        const auto& c = info.param;
+        return std::string(c.double_dqn ? "double" : "vanilla") +
+               (c.slim_output ? "_ragged" : "_fullout") + "_b" +
+               std::to_string(c.batch_size);
+    });
+
+// force_dqn_math overrides the config at construction time only.
+TEST(DqnMathOverride, ForcedModeAppliesAtConstruction) {
+    MlpConfig net;
+    net.dims = {4, 8, 6};
+    net.seed = 1;
+    DqnConfig cfg;
+    cfg.math = DqnMath::batched;
+
+    force_dqn_math(DqnMath::scalar);
+    ASSERT_TRUE(forced_dqn_math().has_value());
+    DqnCore forced(net, cfg);
+    force_dqn_math(std::nullopt);
+    ASSERT_FALSE(forced_dqn_math().has_value());
+
+    // No direct accessor for the resolved mode; equivalence above proves both
+    // behave identically, so here we only check the override is sticky per
+    // core: training still works after the global reset.
+    util::Rng rng(2);
+    std::vector<Transition> ts{make_transition(rng, 4, 6, 1.0, 1.0, false)};
+    std::vector<const Transition*> batch{&ts[0]};
+    EXPECT_GE(forced.train_batch(batch), 0.0);
+}
+
+} // namespace
+} // namespace lotus::rl

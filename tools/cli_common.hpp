@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "lotus_repro.hpp"
+#include "prof/profiler.hpp"
 
 namespace lotus::cli {
 
@@ -91,7 +92,29 @@ struct RenderOptions {
     bool chart = false;
     /// CSV output directory; empty disables the CSV sink.
     std::string csv_dir;
+    /// Enable the internal profiler and print its per-scenario report to
+    /// stderr (see src/prof/).
+    bool profile = false;
+
+    /// Serving/fleet episodes can skip materialising per-request ledger rows
+    /// (bit-identical summaries, less allocation) exactly when no sink needs
+    /// the rows: charts read per-request columns, CSV dumps the ledger.
+    [[nodiscard]] bool summary_only() const noexcept {
+        return !chart && csv_dir.empty();
+    }
 };
+
+/// Harness config for scenario execution under these render options: the
+/// summary-only fast path engages automatically when no row-consuming sink
+/// is attached.
+inline harness::HarnessConfig harness_config(const RenderOptions& opt, std::size_t jobs,
+                                             std::uint64_t seed) {
+    harness::HarnessConfig cfg;
+    cfg.jobs = jobs;
+    cfg.seed = seed;
+    cfg.summary_only = opt.summary_only();
+    return cfg;
+}
 
 /// `--format json` promises machine-readable stdout; ASCII charts would
 /// corrupt it (CSV announcements already go to stderr).
@@ -100,6 +123,14 @@ inline void reject_chart_with_json(const std::string& tool, const RenderOptions&
         usage_error(tool, "--chart writes ASCII to stdout and cannot be combined "
                           "with --format json");
     }
+}
+
+/// Turn the profiler's runtime timer gate on when --profile was passed
+/// (call before the run so episodes are sampled). Harmless no-op in
+/// profiling-OFF builds; the ProfileSink then prints the compiled-out
+/// notice.
+inline void apply_profile_flag(const RenderOptions& opt) {
+    if (opt.profile) prof::set_enabled(true);
 }
 
 /// Slice a harness batch result back per scenario and feed each slice
@@ -117,6 +148,7 @@ inline void render_results(const RenderOptions& opt,
     if (!opt.csv_dir.empty()) {
         sinks.push_back(std::make_unique<harness::CsvSink>(opt.csv_dir));
     }
+    if (opt.profile) sinks.push_back(std::make_unique<harness::ProfileSink>());
 
     std::size_t cursor = 0;
     for (const auto* s : batch) {

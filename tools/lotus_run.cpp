@@ -37,6 +37,8 @@
 //                    one machine-readable document per scenario / run)
 //   --csv PATH       single run: trace CSV path; scenario mode: output dir
 //   --chart          render temperature/latency ASCII charts
+//   --profile        print the internal profiler's report to stderr
+//                    (per-scenario in scenario mode; see src/prof/)
 //
 // Unknown flags, unknown enum values and malformed numbers are rejected
 // with a nonzero exit -- no silent fallbacks.
@@ -66,6 +68,7 @@ struct Options {
     std::string csv_path;
     cli::OutputFormat format = cli::OutputFormat::table;
     bool chart = false;
+    bool profile = false;
     bool list_scenarios = false;
     std::vector<std::string> scenarios;
     std::size_t jobs = 0; // 0 -> hardware concurrency
@@ -113,6 +116,8 @@ Options parse(int argc, char** argv) {
             opt.csv_path = need_value(i);
         } else if (flag == "--chart") {
             opt.chart = true;
+        } else if (flag == "--profile") {
+            opt.profile = true;
         } else if (flag == "--list-scenarios") {
             opt.list_scenarios = true;
         } else if (flag == "--scenario") {
@@ -168,9 +173,12 @@ int run_scenarios(const Options& opt) {
     render.format = opt.format;
     render.chart = opt.chart;
     render.csv_dir = opt.csv_path;
+    render.profile = opt.profile;
     cli::reject_chart_with_json(kTool, render);
+    cli::apply_profile_flag(render);
 
-    const harness::ExperimentHarness harness({.jobs = opt.jobs, .seed = opt.seed});
+    const harness::ExperimentHarness harness(
+        cli::harness_config(render, opt.jobs, opt.seed));
     // Status goes to stderr so stdout is byte-identical at any --jobs count.
     std::fprintf(stderr, "lotus_run: %zu scenario(s), %zu jobs, seed %llu\n", batch.size(),
                  harness.config().jobs,
@@ -210,6 +218,7 @@ int run_single(const Options& opt) {
                  static_cast<unsigned long long>(opt.seed),
                  scenario.config.schedule.at(0).latency_constraint_s * 1e3);
 
+    if (opt.profile) prof::set_enabled(true);
     const harness::ExperimentHarness harness({.jobs = 1, .seed = opt.seed});
     const auto results = harness.run(scenario);
     const auto& trace = results[0].trace;
@@ -249,6 +258,11 @@ int run_single(const Options& opt) {
         std::fprintf(opt.format == cli::OutputFormat::json ? stderr : stdout,
                      "trace written to %s (%zu rows)\n", opt.csv_path.c_str(),
                      trace.size());
+    }
+    if (opt.profile) {
+        std::fprintf(stderr, "[profile] %s\n%s", scenario.name.c_str(),
+                     prof::report_text().c_str());
+        prof::reset();
     }
     return 0;
 }

@@ -51,6 +51,12 @@
 //   --format table | json                               (default table)
 //   --csv DIR         write per-request ledgers + summary CSV into DIR
 //   --chart           render temperature / end-to-end latency ASCII charts
+//   --profile         print the internal profiler's per-scenario report to
+//                     stderr (regions + counters; see src/prof/)
+//
+// Without --csv/--chart the serving/fleet episodes run summary-only: the
+// per-request ledger is never materialised (tables and JSON are
+// byte-identical either way).
 //
 // Unknown flags, unknown enum values, malformed numbers and contradictory
 // invocations (scenario mode combined with ad-hoc stream flags, --router
@@ -85,6 +91,7 @@ struct Options {
     cli::OutputFormat format = cli::OutputFormat::table;
     std::string csv_dir;
     bool chart = false;
+    bool profile = false;
     bool list_scenarios = false;
     std::vector<std::string> scenarios;
     std::size_t jobs = 0;
@@ -149,6 +156,8 @@ Options parse(int argc, char** argv) {
             opt.csv_dir = need_value(i);
         } else if (flag == "--chart") {
             opt.chart = true;
+        } else if (flag == "--profile") {
+            opt.profile = true;
         } else if (flag == "--list-scenarios") {
             opt.list_scenarios = true;
         } else if (flag == "--scenario") {
@@ -176,6 +185,7 @@ cli::RenderOptions render_options(const Options& opt) {
     r.format = opt.format;
     r.chart = opt.chart;
     r.csv_dir = opt.csv_dir;
+    r.profile = opt.profile;
     cli::reject_chart_with_json(kTool, r);
     return r;
 }
@@ -244,7 +254,9 @@ int run_scenarios(const Options& opt) {
     }
 
     const auto render = render_options(opt); // validate before the long run
-    const harness::ExperimentHarness harness({.jobs = opt.jobs, .seed = opt.seed});
+    cli::apply_profile_flag(render);
+    const harness::ExperimentHarness harness(
+        cli::harness_config(render, opt.jobs, opt.seed));
     // Status goes to stderr so stdout is byte-identical at any --jobs count.
     std::fprintf(stderr, "%s: %zu scenario(s), %zu jobs, seed %llu\n", kTool.c_str(),
                  batch.size(), harness.config().jobs,
@@ -343,7 +355,9 @@ int run_adhoc(const Options& opt) {
     }
     std::fprintf(stderr, "\n");
 
-    const harness::ExperimentHarness harness({.jobs = opt.jobs, .seed = opt.seed});
+    cli::apply_profile_flag(render);
+    const harness::ExperimentHarness harness(
+        cli::harness_config(render, opt.jobs, opt.seed));
     cli::render_results(render, {&scenario}, harness.run(scenario));
     return 0;
 }
