@@ -27,7 +27,8 @@
 //
 // PR 6 extends the same pattern to the host-side hot path and records the
 // result as a machine-readable perf trajectory, BENCH_overhead.json
-// (schema 1), written to the working directory:
+// (stamped with util::kSchemaVersion + build id), written to the working
+// directory:
 //
 //  * DQN train step: scalar per-sample reference vs width-grouped blocked
 //    matrix math (rl::DqnMath), gated on bit-identical losses;
@@ -38,7 +39,10 @@
 //  * the summary-only ledger fast path vs full row capture (same JSON,
 //    fewer allocations);
 //  * the internal profiler's timers-enabled overhead on
-//    serve_fleet_saturation (< 2% of wall-clock).
+//    serve_fleet_saturation (< 2% of wall-clock);
+//  * the sim-time telemetry recorder's overhead on serve_saturation
+//    (PR 7), gated hard on byte-identical scenario JSON with recording on
+//    vs off, softly on wall-clock.
 //
 // CI diffs the hardware-normalized ratios in the JSON against the
 // committed bench/BENCH_overhead.baseline.json via
@@ -59,6 +63,7 @@
 #include "common.hpp"
 #include "harness/sinks.hpp"
 #include "prof/profiler.hpp"
+#include "util/build_info.hpp"
 
 using namespace lotus;
 
@@ -576,10 +581,67 @@ bool perf_trajectory() {
                 off_s, on_s, overhead_pct,
                 prof::kCompiled ? "" : "; profiler compiled out");
 
+    // --- cell 5: sim-time telemetry recording overhead ----------------------
+    // The hard gate is correctness: scenario JSON must be byte-identical with
+    // recording on vs off (instrumentation must not perturb the simulation).
+    // The wall-clock bar is deliberately loose -- recording allocates per
+    // event, and this cell documents the cost rather than policing scheduler
+    // noise: fail only past 50% AND a 100 ms absolute excess.
+    auto tel_cfg_off = perf_harness_config(/*summary_only=*/true);
+    auto tel_cfg_on = tel_cfg_off;
+    tel_cfg_on.telemetry = true;
+    const harness::ExperimentHarness tel_h_off(tel_cfg_off);
+    const harness::ExperimentHarness tel_h_on(tel_cfg_on);
+    std::uint64_t tel_events = 0;
+    std::uint64_t tel_breaches = 0;
+    bool tel_identical = false;
+    {
+        // Correctness pass (doubles as warm-up for the timed pairs).
+        const auto r_off = tel_h_off.run(sc);
+        const auto r_on = tel_h_on.run(sc);
+        tel_identical =
+            harness::scenario_json(sc, r_off) == harness::scenario_json(sc, r_on);
+        for (const auto& r : r_on) {
+            if (!r.telemetry) continue;
+            tel_events += r.telemetry->event_count();
+            tel_breaches += r.telemetry->breach_count();
+        }
+    }
+    if (!tel_identical) {
+        std::printf("FAIL: scenario JSON differs with telemetry recording on\n");
+        ok = false;
+    }
+    if (tel_events == 0) {
+        std::printf("FAIL: telemetry recording captured zero events\n");
+        ok = false;
+    }
+    double tel_off_s = 0.0;
+    double tel_on_s = 0.0;
+    for (int rep = 0; rep < fleet_pairs; ++rep) {
+        const double off = wall_of_run(sc, tel_h_off);
+        const double on = wall_of_run(sc, tel_h_on);
+        tel_off_s = rep == 0 ? off : std::min(tel_off_s, off);
+        tel_on_s = rep == 0 ? on : std::min(tel_on_s, on);
+    }
+    const double tel_overhead_pct =
+        (tel_on_s - tel_off_s) / std::max(tel_off_s, 1e-9) * 100.0;
+    if (tel_overhead_pct > 50.0 && (tel_on_s - tel_off_s) > 0.1) {
+        std::printf("FAIL: telemetry recording costs %.2f%% of serve_saturation "
+                    "(>= 50%%)\n",
+                    tel_overhead_pct);
+        ok = false;
+    }
+    std::printf("telemetry recording on serve_saturation: %.3fs off, %.3fs on "
+                "(%.2f%% overhead, %llu events, %llu breaches, JSON %s)\n\n",
+                tel_off_s, tel_on_s, tel_overhead_pct,
+                static_cast<unsigned long long>(tel_events),
+                static_cast<unsigned long long>(tel_breaches),
+                tel_identical ? "byte-identical" : "DIFFERS");
+
     // --- BENCH_overhead.json -------------------------------------------------
     std::ostringstream js;
     js << "{\n"
-       << "  \"schema\": 1,\n"
+       << "  " << util::build_info_json_fields() << ",\n"
        << "  \"bench\": \"bench_overhead\",\n"
        << "  \"fast_mode\": " << (fast ? "true" : "false") << ",\n"
        << "  \"profiling_compiled\": " << (prof::kCompiled ? "true" : "false") << ",\n"
@@ -615,6 +677,15 @@ bool perf_trajectory() {
        << "      \"timers_off_wall_s\": " << json_num(off_s) << ",\n"
        << "      \"timers_on_wall_s\": " << json_num(on_s) << ",\n"
        << "      \"overhead_pct\": " << json_num(overhead_pct) << "\n"
+       << "    },\n"
+       << "    \"telemetry_overhead\": {\n"
+       << "      \"scenario\": \"serve_saturation\",\n"
+       << "      \"recording_off_wall_s\": " << json_num(tel_off_s) << ",\n"
+       << "      \"recording_on_wall_s\": " << json_num(tel_on_s) << ",\n"
+       << "      \"overhead_pct\": " << json_num(tel_overhead_pct) << ",\n"
+       << "      \"events\": " << tel_events << ",\n"
+       << "      \"breaches\": " << tel_breaches << ",\n"
+       << "      \"json_bit_identical\": " << (tel_identical ? "true" : "false") << "\n"
        << "    }\n"
        << "  }\n"
        << "}\n";
@@ -626,7 +697,8 @@ bool perf_trajectory() {
         std::printf("FAIL: could not write %s\n", out_path);
         ok = false;
     } else {
-        std::printf("perf trajectory written to %s (schema 1)\n\n", out_path);
+        std::printf("perf trajectory written to %s (schema_version %d)\n\n", out_path,
+                    util::kSchemaVersion);
     }
     return ok;
 }

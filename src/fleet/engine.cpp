@@ -12,6 +12,7 @@
 #include "serving/engine.hpp"
 #include "serving/queue.hpp"
 #include "serving/scheduler.hpp"
+#include "telemetry/recorder.hpp"
 #include "util/rng.hpp"
 #include "workload/dataset.hpp"
 
@@ -52,6 +53,9 @@ struct Worker {
           }()),
           engine(device, engine_cfg), governor(std::move(gov)),
           scheduler(serving::make_scheduler(scheduler_name)) {
+        // Telemetry processes are named by slot id, not spec name, so
+        // identical twins stay distinguishable in a trace.
+        device.set_telemetry_label(slot.id);
         device.set_ambient(slot.ambient_overridden() ? slot.ambient_celsius : ambient);
         device.reset(); // start in equilibrium with the (possibly overridden) ambient
         observe_peak();
@@ -181,6 +185,9 @@ FleetTrace FleetEngine::run(const GovernorFactory& make_governor,
 
     // --- per-device pre-training (not recorded; device-id-namespaced) ------
     if (config_.pretrain_iterations > 0) {
+        // Pretrain advances each device clock then rewinds it via reset();
+        // recording it would break the trace's monotonic timeline.
+        telemetry::SuspendScope no_telemetry;
         const auto& warm = config_.streams.front();
         for (std::size_t i = 0; i < workers.size(); ++i) {
             auto& w = *workers[i];
@@ -222,8 +229,47 @@ FleetTrace FleetEngine::run(const GovernorFactory& make_governor,
 
     auto router = make_router(config_.router);
 
+    // Routing decisions live on the "fleet"/"router" track; request spans on
+    // their stream tracks; per-device breaches against the device so the
+    // flight recorder snapshots what that device was doing.
+    auto* tel = telemetry::current();
+    int tel_router = -1;
+    std::vector<int> tel_streams;
+    std::vector<std::size_t> tel_depths(workers.size(),
+                                        static_cast<std::size_t>(-1));
+    if (tel) {
+        tel_router = tel->track("fleet", "router");
+        tel_streams.reserve(config_.streams.size());
+        for (const auto& s : config_.streams) {
+            tel_streams.push_back(tel->track("streams", s.name));
+        }
+    }
+    const auto tel_queue_depth = [&](std::size_t index, double t) {
+        if (!tel) return;
+        auto& w = *workers[index];
+        if (w.pending() == tel_depths[index]) return;
+        tel_depths[index] = w.pending();
+        tel->counter(tel->track(w.spec->id, "queue"), "queue_depth", t,
+                     static_cast<double>(w.pending()));
+    };
+
     const auto record_shed = [&](const serving::Request& r, double now,
                                  std::size_t device_index) {
+        if (tel) {
+            tel->async_end(tel_streams[r.stream], "request", r.id, now,
+                           "\"outcome\":\"shed\",\"queued_ms\":" +
+                               telemetry::jnum(std::max(0.0, now - r.arrival_s) * 1e3));
+            const bool on_device = device_index != FleetRecord::kNoDevice;
+            const int breach_track =
+                on_device ? tel->track(workers[device_index]->spec->id, "platform")
+                          : tel_router;
+            tel->breach(breach_track, "shed", r.id, now,
+                        "\"stream\":" + telemetry::jstr(config_.streams[r.stream].name) +
+                            ",\"slo_ms\":" + telemetry::jnum(r.slo_s * 1e3) +
+                            ",\"device\":" +
+                            (on_device ? telemetry::jstr(workers[device_index]->spec->id)
+                                       : std::string("null")));
+        }
         serving::ServingRecord row;
         row.request_id = r.id;
         row.stream = r.stream;
@@ -280,9 +326,18 @@ FleetTrace FleetEngine::run(const GovernorFactory& make_governor,
             record_shed(req, now, FleetRecord::kNoDevice);
             return;
         }
+        if (tel) {
+            tel->instant(tel_router, "route", now,
+                         "\"request_id\":" + std::to_string(req.id) +
+                             ",\"stream\":" +
+                             telemetry::jstr(config_.streams[req.stream].name) +
+                             ",\"device\":" + telemetry::jstr(workers[idx]->spec->id) +
+                             ",\"rerouted\":" + (migrated[req.id] ? "true" : "false"));
+        }
         auto& w = *workers[idx];
         w.inbox.push_back(Staged{std::move(req), now});
         w.max_depth = std::max(w.max_depth, w.pending());
+        tel_queue_depth(idx, now);
     };
 
     /// Pull every queued/staged request off `w` and re-route it across the
@@ -300,6 +355,12 @@ FleetTrace FleetEngine::run(const GovernorFactory& make_governor,
                       return a.id < b.id;
                   });
         w.migrations_out += displaced.size();
+        if (tel && !displaced.empty()) {
+            tel->instant(tel_router, "migrate_off", now,
+                         "\"device\":" + telemetry::jstr(w.spec->id) +
+                             ",\"requests\":" + std::to_string(displaced.size()));
+        }
+        tel_queue_depth(index, now);
         for (auto& r : displaced) {
             migrated[r.id] = 1;
             route_request(std::move(r), now, index);
@@ -328,10 +389,18 @@ FleetTrace FleetEngine::run(const GovernorFactory& make_governor,
 
         auto decision = w.scheduler->pick(w.queue, now, w.expected_service_s);
         for (auto& r : decision.shed) record_shed(r, now, index);
+        tel_queue_depth(index, now);
         if (!decision.next) return;
 
         serving::Request req = std::move(*decision.next);
         const double wait = std::max(0.0, now - req.arrival_s);
+        if (tel) {
+            tel->instant(tel->track(w.spec->id, "queue"), "dispatch", now,
+                         "\"request_id\":" + std::to_string(req.id) +
+                             ",\"stream\":" +
+                             telemetry::jstr(config_.streams[req.stream].name) +
+                             ",\"queue_wait_ms\":" + telemetry::jnum(wait * 1e3));
+        }
         const auto result = w.engine.run_frame(model, req.frame, *w.governor, req.slo_s,
                                                w.iteration++, wait);
         w.observe_peak();
@@ -351,6 +420,22 @@ FleetTrace FleetEngine::run(const GovernorFactory& make_governor,
         row.cpu_temp = result.cpu_temp;
         row.gpu_temp = result.gpu_temp;
         row.energy_j = result.energy_j;
+        if (tel) {
+            const double done = w.device.now();
+            tel->async_end(tel_streams[req.stream], "request", req.id, done,
+                           std::string("\"outcome\":\"") +
+                               (row.missed ? "missed" : "served") +
+                               "\",\"device\":" + telemetry::jstr(w.spec->id) +
+                               ",\"e2e_ms\":" + telemetry::jnum(row.e2e_s * 1e3));
+            if (row.missed) {
+                tel->breach(tel->track(w.spec->id, "platform"), "slo_miss", req.id, done,
+                            "\"stream\":" +
+                                telemetry::jstr(config_.streams[req.stream].name) +
+                                ",\"e2e_ms\":" + telemetry::jnum(row.e2e_s * 1e3) +
+                                ",\"slo_ms\":" + telemetry::jnum(req.slo_s * 1e3) +
+                                ",\"device\":" + telemetry::jstr(w.spec->id));
+            }
+        }
         trace.add(FleetRecord{std::move(row), index, migrated[req.id] != 0});
 
         w.expected_service_s = w.expected_service_s <= 0.0
@@ -396,7 +481,13 @@ FleetTrace FleetEngine::run(const GovernorFactory& make_governor,
                 // The device is past its failure instant: withdraw it and
                 // re-route everything it still holds.
                 w.drained = true;
-                migrate_off(best, std::max(w.device.now(), w.spec->fail_at_s));
+                const double t_fail = std::max(w.device.now(), w.spec->fail_at_s);
+                if (tel) {
+                    tel->instant(tel_router, "device_failed", t_fail,
+                                 "\"device\":" + telemetry::jstr(w.spec->id) +
+                                     ",\"pending\":" + std::to_string(w.pending()));
+                }
+                migrate_off(best, t_fail);
             } else {
                 dispatch_one(best);
             }
@@ -418,8 +509,18 @@ FleetTrace FleetEngine::run(const GovernorFactory& make_governor,
             // the moment the dispatcher acts at or after that instant.
             if (!w.drained && !w.alive(t_arr) && w.pending() > 0) {
                 w.drained = true;
-                migrate_off(i, std::max(w.device.now(), w.spec->fail_at_s));
+                const double t_fail = std::max(w.device.now(), w.spec->fail_at_s);
+                if (tel) {
+                    tel->instant(tel_router, "device_failed", t_fail,
+                                 "\"device\":" + telemetry::jstr(w.spec->id) +
+                                     ",\"pending\":" + std::to_string(w.pending()));
+                }
+                migrate_off(i, t_fail);
             }
+        }
+        if (tel) {
+            tel->async_begin(tel_streams[req.stream], "request", req.id, req.arrival_s,
+                             "\"slo_ms\":" + telemetry::jnum(req.slo_s * 1e3));
         }
         route_request(std::move(req), t_arr, Router::npos);
     }

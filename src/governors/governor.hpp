@@ -95,6 +95,9 @@ struct LevelRequest {
 /// reward and train here.
 struct FrameOutcome {
     std::size_t iteration = 0;
+    /// Simulated time at frame completion (when this outcome is delivered);
+    /// lets learning governors timestamp their telemetry on the sim clock.
+    double now_s = 0.0;
     /// End-to-end latency: queue wait + execution. This is what learning
     /// governors score against the constraint -- under a serving queue the
     /// deadline is burnt by waiting just as surely as by slow inference.

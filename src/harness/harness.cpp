@@ -31,6 +31,16 @@ EpisodeResult ExperimentHarness::run_episode(const Scenario& scenario,
     util::SplitMix64 sm(episode_seed);
     cfg.seed = sm.next();
 
+    // Telemetry: one recorder per episode, bound to this worker thread for
+    // the episode's duration. An episode runs start-to-finish on one thread,
+    // so the recorder needs no locks, and its content is a pure function of
+    // the episode identity (byte-identical across --jobs counts).
+    std::shared_ptr<telemetry::Recorder> recorder;
+    if (config_.telemetry) {
+        recorder = std::make_shared<telemetry::Recorder>(config_.telemetry_options);
+    }
+    telemetry::BindScope bind(recorder.get());
+
     if (scenario.fleet) {
         auto fleet_cfg = *scenario.fleet;
         if (arm.fleet_tweak) arm.fleet_tweak(fleet_cfg);
@@ -56,7 +66,8 @@ EpisodeResult ExperimentHarness::run_episode(const Scenario& scenario,
                              episode_seed,     std::move(cfg),
                              runtime::Trace{}, arm.paper,
                              std::nullopt,     std::nullopt,
-                             std::move(fleet_cfg), std::move(trace)};
+                             std::move(fleet_cfg), std::move(trace),
+                             std::move(recorder)};
         return result;
     }
 
@@ -75,7 +86,8 @@ EpisodeResult ExperimentHarness::run_episode(const Scenario& scenario,
                              episode_seed,     std::move(cfg),
                              runtime::Trace{}, arm.paper,
                              std::move(serving_cfg), std::move(trace),
-                             std::nullopt,     std::nullopt};
+                             std::nullopt,     std::nullopt,
+                             std::move(recorder)};
     }
 
     // Non-learning governors need no warm-up; skipping it keeps sweeps fast.
@@ -86,7 +98,7 @@ EpisodeResult ExperimentHarness::run_episode(const Scenario& scenario,
     return EpisodeResult{scenario.name,  arm.name,         episode_seed,
                          std::move(cfg), std::move(trace), arm.paper,
                          std::nullopt,   std::nullopt,     std::nullopt,
-                         std::nullopt};
+                         std::nullopt,   std::move(recorder)};
 }
 
 std::vector<EpisodeResult> ExperimentHarness::run(const Scenario& scenario) const {

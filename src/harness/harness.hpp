@@ -19,12 +19,14 @@
 // remaining byte-for-byte reproducible.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "fleet/trace.hpp"
 #include "harness/scenario.hpp"
 #include "runtime/trace.hpp"
 #include "serving/trace.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace lotus::harness {
 
@@ -38,6 +40,15 @@ struct HarnessConfig {
     /// to full-ledger runs; per-request CSV dumps and chart columns are
     /// unavailable, so only enable when no such sink is attached.
     bool summary_only = false;
+    /// Record sim-time telemetry per episode (request spans, device
+    /// time-series, breach flight recorder). Each episode gets its own
+    /// Recorder bound for the episode's duration, so emission is a pure
+    /// function of the episode's identity -- byte-identical across --jobs
+    /// counts. Off by default: disabled runs carry no recorder at all.
+    bool telemetry = false;
+    /// Tuning for per-episode recorders (sample cadence, ring capacity);
+    /// only consulted when `telemetry` is on.
+    telemetry::RecorderOptions telemetry_options = {};
 };
 
 /// Outcome of one (scenario, arm) episode.
@@ -58,6 +69,9 @@ struct EpisodeResult {
     /// ledger (with device placements) produced by the FleetEngine.
     std::optional<fleet::FleetConfig> fleet_config;
     std::optional<fleet::FleetTrace> fleet_trace;
+    /// Sim-time telemetry captured during the episode (HarnessConfig::
+    /// telemetry on); null when recording was disabled.
+    std::shared_ptr<telemetry::Recorder> telemetry;
 
     [[nodiscard]] bool is_serving() const noexcept { return serving_trace.has_value(); }
     [[nodiscard]] bool is_fleet() const noexcept { return fleet_trace.has_value(); }

@@ -4,11 +4,13 @@
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
+#include <mutex>
 #include <set>
 
 #include "platform/presets.hpp"
 #include "prof/profiler.hpp"
 #include "util/ascii.hpp"
+#include "util/build_info.hpp"
 #include "util/csv.hpp"
 
 namespace lotus::harness {
@@ -401,6 +403,7 @@ std::string scenario_json(const Scenario& scenario,
                           const std::vector<EpisodeResult>& results) {
     std::string o = "{";
     o += "\"scenario\":" + jstr(scenario.name);
+    o += "," + util::build_info_json_fields();
     o += ",\"title\":" + jstr(scenario.title);
     o += ",\"mode\":" + jstr(scenario.is_fleet()
                                  ? "fleet"
@@ -487,9 +490,37 @@ void JsonSink::consume(const Scenario& scenario,
 
 void ProfileSink::consume(const Scenario& scenario,
                           const std::vector<EpisodeResult>&) {
+    // Front ends may render scenarios from pool threads; serialize the
+    // report+reset pair so two scenarios' reports cannot interleave on
+    // stderr (or blend counters by resetting mid-report).
+    static std::mutex mutex;
+    const std::lock_guard<std::mutex> lock(mutex);
     std::fprintf(stderr, "[profile] %s\n%s", scenario.name.c_str(),
                  prof::report_text().c_str());
     prof::reset();
+}
+
+void TelemetrySink::consume(const Scenario& scenario,
+                            const std::vector<EpisodeResult>& results) {
+    const std::string base = dir_ + "/" + sanitize(scenario.name);
+    // Arm names are sanitized like CSV trace files; suffix repeats in
+    // declaration order so every episode keeps its own directory.
+    std::set<std::string> used;
+    for (const auto& r : results) {
+        if (!r.telemetry) continue;
+        const std::string stem = sanitize(r.arm);
+        std::string name = stem;
+        for (std::size_t n = 2; !used.insert(name).second; ++n) {
+            name = stem + "_" + std::to_string(n);
+        }
+        const auto dir = base + "/" + name;
+        r.telemetry->write(dir);
+        if (announce_) {
+            std::fprintf(stderr, "[telemetry] wrote %s (%zu events, %zu breaches)\n",
+                         dir.c_str(), r.telemetry->event_count(),
+                         r.telemetry->breach_count());
+        }
+    }
 }
 
 } // namespace lotus::harness

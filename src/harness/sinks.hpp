@@ -108,10 +108,31 @@ public:
 /// profiler so successive scenarios do not blend into one report. stderr
 /// keeps stdout byte-identical for table/JSON consumers. Prints a one-line
 /// notice when the profiler is compiled out (-DLOTUS_PROFILING=OFF).
+/// Thread-safe: the report+reset pair is serialized, so concurrent
+/// scenarios cannot interleave their reports on stderr.
 class ProfileSink final : public ResultSink {
 public:
     void consume(const Scenario& scenario,
                  const std::vector<EpisodeResult>& results) override;
+};
+
+/// Writes each episode's captured sim-time telemetry (see src/telemetry/)
+/// under <dir>/<scenario>/<arm>/: trace.json (Perfetto / chrome://tracing),
+/// events.jsonl, metrics.csv, breaches.jsonl and manifest.json. Arm names
+/// that sanitize to the same directory are suffixed in declaration order
+/// (same rule as write_csv_traces). Episodes carrying no recorder --
+/// HarnessConfig::telemetry off -- are skipped silently.
+class TelemetrySink final : public ResultSink {
+public:
+    explicit TelemetrySink(std::string dir, bool announce = true)
+        : dir_(std::move(dir)), announce_(announce) {}
+
+    void consume(const Scenario& scenario,
+                 const std::vector<EpisodeResult>& results) override;
+
+private:
+    std::string dir_;
+    bool announce_;
 };
 
 } // namespace lotus::harness

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/recorder.hpp"
+
 namespace lotus::core {
 
 namespace {
@@ -230,6 +232,17 @@ void LotusAgent::on_frame_end(const governors::FrameOutcome& outcome) {
     }
 
     if (config_.train_online) train();
+
+    if (auto* tel = telemetry::current()) {
+        // Learning-state counters under the owning device's process (the
+        // engine set the context before delivering this outcome).
+        const int track = tel->context_track("rl");
+        tel->counter(track, "reward", outcome.now_s, rb.total);
+        tel->counter(track, "epsilon", outcome.now_s, epsilon());
+        tel->counter(track, "replay_size", outcome.now_s,
+                     static_cast<double>(even_buffer_.size() + odd_buffer_.size()));
+        if (last_loss_) tel->counter(track, "loss", outcome.now_s, *last_loss_);
+    }
 }
 
 void LotusAgent::train() {
@@ -238,14 +251,19 @@ void LotusAgent::train() {
     // "at time step 2i, the sampled transitions are used to update the
     // Q-network with alpha-x width, while the remaining weights are not
     // updated").
+    double loss_sum = 0.0;
+    int updates = 0;
     if (even_buffer_.size() >= config_.min_replay) {
         const auto batch = even_buffer_.sample(rng_, config_.batch_size);
-        dqn_even().train_batch(batch);
+        loss_sum += dqn_even().train_batch(batch);
+        ++updates;
     }
     if (odd_buffer_.size() >= config_.min_replay) {
         const auto batch = odd_buffer_.sample(rng_, config_.batch_size);
-        dqn_odd().train_batch(batch);
+        loss_sum += dqn_odd().train_batch(batch);
+        ++updates;
     }
+    if (updates > 0) last_loss_ = loss_sum / updates;
 }
 
 } // namespace lotus::core

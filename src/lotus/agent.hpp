@@ -109,6 +109,9 @@ public:
     [[nodiscard]] std::size_t frames_seen() const noexcept { return frames_; }
     [[nodiscard]] std::size_t decisions_made() const noexcept { return decisions_; }
     [[nodiscard]] double last_reward() const noexcept { return last_reward_; }
+    /// Mean TD loss of the most recent train() call; empty before the replay
+    /// buffers first reach min_replay.
+    [[nodiscard]] std::optional<double> last_loss() const noexcept { return last_loss_; }
 
 private:
     struct PendingEven {
@@ -165,6 +168,7 @@ private:
     std::size_t decisions_ = 0;
     std::size_t cooldowns_ = 0;
     double last_reward_ = 0.0;
+    std::optional<double> last_loss_;
 };
 
 } // namespace lotus::core

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "prof/profiler.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace lotus::platform {
 
@@ -33,7 +34,8 @@ EdgeDevice::EdgeDevice(DeviceSpec spec)
       }()),
       req_cpu_(spec_.cpu.opp.num_levels() - 1),
       req_gpu_(spec_.gpu.opp.num_levels() - 1),
-      ambient_(spec_.initial_ambient_celsius) {
+      ambient_(spec_.initial_ambient_celsius),
+      tel_label_(spec_.name) {
     if (spec_.mem_bandwidth <= 0.0) {
         throw std::invalid_argument("EdgeDevice: mem_bandwidth must be > 0");
     }
@@ -169,6 +171,7 @@ double EdgeDevice::advance_segmented(double dt, double cpu_util, double gpu_util
         if (listener_ && polled && (cpu_throttle_.engaged() || gpu_throttle_.engaged())) {
             listener_->on_throttle(now_, cpu_throttle_.engaged(), gpu_throttle_.engaged());
         }
+        publish_telemetry();
         // Deliver due listener events (kernel ticks). These may nest another
         // advance (a tick requesting new levels pays the DVFS stall), which
         // runs this loop re-entrantly on top of the current segment.
@@ -186,6 +189,60 @@ void EdgeDevice::reset() {
     now_ = 0.0;
     energy_j_ = 0.0;
     last_power_ = {};
+    // Telemetry change-detection must re-prime: the clock rewound, and the
+    // published levels/engagements no longer describe the device.
+    tel_track_ = -1;
+    tel_next_sample_ = 0.0;
+}
+
+void EdgeDevice::publish_telemetry() {
+    auto* tel = telemetry::current();
+    if (!tel) return;
+    if (tel != tel_recorder_ || tel_track_ < 0) {
+        // First publication under this recorder (or after reset/relabel):
+        // prime the change detectors and schedule an immediate sample. The
+        // track id is cached so the per-segment cost is a TLS load and a
+        // few comparisons, not a map lookup.
+        tel_recorder_ = tel;
+        tel_track_ = tel->track(tel_label_, "platform");
+        tel_cpu_level_ = cpu_level();
+        tel_gpu_level_ = gpu_level();
+        tel_cpu_engaged_ = cpu_throttle_.engaged();
+        tel_gpu_engaged_ = gpu_throttle_.engaged();
+        tel_next_sample_ = now_;
+    }
+    const int track = tel_track_;
+
+    if (cpu_level() != tel_cpu_level_ || gpu_level() != tel_gpu_level_) {
+        tel_cpu_level_ = cpu_level();
+        tel_gpu_level_ = gpu_level();
+        tel->instant(track, "opp_change", now_,
+                     "\"cpu_level\":" + std::to_string(tel_cpu_level_) +
+                         ",\"gpu_level\":" + std::to_string(tel_gpu_level_) +
+                         ",\"cpu_mhz\":" + telemetry::jnum(cpu_freq() / 1e6) +
+                         ",\"gpu_mhz\":" + telemetry::jnum(gpu_freq() / 1e6));
+    }
+    if (cpu_throttle_.engaged() != tel_cpu_engaged_) {
+        tel_cpu_engaged_ = cpu_throttle_.engaged();
+        tel->instant(track, tel_cpu_engaged_ ? "throttle_trip" : "throttle_clear", now_,
+                     "\"domain\":\"cpu\",\"cap\":" + std::to_string(cpu_throttle_.cap()) +
+                         ",\"temp_c\":" + telemetry::jnum(cpu_temp()));
+    }
+    if (gpu_throttle_.engaged() != tel_gpu_engaged_) {
+        tel_gpu_engaged_ = gpu_throttle_.engaged();
+        tel->instant(track, tel_gpu_engaged_ ? "throttle_trip" : "throttle_clear", now_,
+                     "\"domain\":\"gpu\",\"cap\":" + std::to_string(gpu_throttle_.cap()) +
+                         ",\"temp_c\":" + telemetry::jnum(gpu_temp()));
+    }
+    if (now_ + kTimeEps >= tel_next_sample_) {
+        tel->counter(track, "cpu_temp_c", now_, cpu_temp());
+        tel->counter(track, "gpu_temp_c", now_, gpu_temp());
+        tel->counter(track, "board_temp_c", now_, board_temp());
+        tel->counter(track, "cpu_freq_mhz", now_, cpu_freq() / 1e6);
+        tel->counter(track, "gpu_freq_mhz", now_, gpu_freq() / 1e6);
+        tel->counter(track, "power_w", now_, last_power_.total());
+        tel_next_sample_ = now_ + tel->sample_period_s();
+    }
 }
 
 void EdgeDevice::mount_sysfs(SysfsFs& fs) {

@@ -205,12 +205,26 @@ public:
     /// Register the kernel-like sysfs nodes for this device on `fs`.
     void mount_sysfs(SysfsFs& fs);
 
+    // --- telemetry ----------------------------------------------------------
+    /// Process name this device reports its telemetry under. Defaults to
+    /// the spec name; the fleet engine overrides it with the slot id so
+    /// identical twins stay distinguishable in a trace.
+    void set_telemetry_label(std::string label) {
+        tel_label_ = std::move(label);
+        tel_track_ = -1;
+    }
+    [[nodiscard]] const std::string& telemetry_label() const noexcept { return tel_label_; }
+
 private:
     /// Shared event-driven advance loop behind advance()/advance_work().
     double advance_segmented(double dt, double cpu_util, double gpu_util,
                              bool stop_on_level_change);
     /// Deliver every listener event whose deadline is already due.
     void fire_due_events(double cpu_util, double gpu_util);
+    /// Emit platform telemetry for the segment that just ended: OPP-change
+    /// and throttle trip/clear instants, plus the periodic temperature /
+    /// frequency / power samples. No-op when no recorder is bound.
+    void publish_telemetry();
 
     DeviceSpec spec_;
     PowerModel cpu_power_;
@@ -226,6 +240,17 @@ private:
     double ambient_;
     double energy_j_ = 0.0;
     PowerSample last_power_;
+
+    // Telemetry state: cached track + last-published granted levels /
+    // throttle engagements (change detection) + next sample deadline.
+    std::string tel_label_;
+    const void* tel_recorder_ = nullptr; // identity of the recorder tel_track_ is valid for
+    int tel_track_ = -1;
+    double tel_next_sample_ = 0.0;
+    std::size_t tel_cpu_level_ = 0;
+    std::size_t tel_gpu_level_ = 0;
+    bool tel_cpu_engaged_ = false;
+    bool tel_gpu_engaged_ = false;
 };
 
 } // namespace lotus::platform

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "prof/profiler.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace lotus::runtime {
 
@@ -42,6 +43,17 @@ double InferenceEngine::next_event_s() const {
 
 void InferenceEngine::on_event(double now_s, double cpu_util, double gpu_util) {
     const double interval = gov_->tick_interval_s();
+    if (auto* tel = telemetry::current()) {
+        // Per-tick observation: what the kernel-style governor sees at this
+        // cadence instant (its action shows up as an opp_change on the
+        // platform thread).
+        tel->set_context(device_.telemetry_label());
+        tel->instant(tel->context_track("governor"), "tick", now_s,
+                     "\"cpu_temp_c\":" + telemetry::jnum(device_.cpu_temp()) +
+                         ",\"gpu_temp_c\":" + telemetry::jnum(device_.gpu_temp()) +
+                         ",\"cpu_level\":" + std::to_string(device_.cpu_level()) +
+                         ",\"gpu_level\":" + std::to_string(device_.gpu_level()));
+    }
     governors::TickObservation tick;
     tick.now_s = now_s;
     tick.dt_s = interval;
@@ -162,6 +174,21 @@ FrameResult InferenceEngine::run_frame(const detector::DetectorModel& model,
     LOTUS_PROF_COUNT("engine.frames", 1);
     bind(governor);
 
+    auto* tel = telemetry::current();
+    int tel_engine = -1;
+    int tel_gov = -1;
+    if (tel) {
+        // Everything this frame emits (agent counters included) belongs to
+        // this device's process.
+        tel->set_context(device_.telemetry_label());
+        tel_engine = tel->context_track("engine");
+        tel_gov = tel->context_track("governor");
+        tel->begin(tel_engine, "frame", device_.now(),
+                   "\"iteration\":" + std::to_string(iteration) +
+                       ",\"constraint_ms\":" + telemetry::jnum(latency_constraint_s * 1e3) +
+                       ",\"queue_wait_ms\":" + telemetry::jnum(queue_wait_s * 1e3));
+    }
+
     FrameResult result;
     result.iteration = iteration;
     result.start_time_s = device_.now();
@@ -181,6 +208,13 @@ FrameResult InferenceEngine::run_frame(const detector::DetectorModel& model,
     apply(req_start);
     result.cpu_level_stage1 = device_.cpu_level();
     result.gpu_level_stage1 = device_.gpu_level();
+    if (tel) {
+        tel->instant(tel_gov, "decision", device_.now(),
+                     "\"point\":\"frame_start\",\"requested\":" +
+                         std::string(req_start.has_request ? "true" : "false") +
+                         ",\"cpu_level\":" + std::to_string(result.cpu_level_stage1) +
+                         ",\"gpu_level\":" + std::to_string(result.gpu_level_stage1));
+    }
 
     // --- stage 1: pre-processing -> backbone -> RPN -------------------------
     for (const auto& component :
@@ -201,6 +235,14 @@ FrameResult InferenceEngine::run_frame(const detector::DetectorModel& model,
         const auto req_rpn = governor.on_post_rpn(obs_rpn);
         charge_decision_overhead();
         apply(req_rpn);
+        if (tel) {
+            tel->instant(tel_gov, "decision", device_.now(),
+                         "\"point\":\"post_rpn\",\"requested\":" +
+                             std::string(req_rpn.has_request ? "true" : "false") +
+                             ",\"proposals\":" + std::to_string(proposals_used) +
+                             ",\"cpu_level\":" + std::to_string(device_.cpu_level()) +
+                             ",\"gpu_level\":" + std::to_string(device_.gpu_level()));
+        }
     }
     result.cpu_level_stage2 = device_.cpu_level();
     result.gpu_level_stage2 = device_.gpu_level();
@@ -218,8 +260,13 @@ FrameResult InferenceEngine::run_frame(const detector::DetectorModel& model,
     result.energy_j = device_.energy_joules() - e0;
     result.throttled = frame_saw_throttle_ || device_.throttled();
 
+    if (tel) {
+        tel->end(tel_engine, device_.now());
+    }
+
     governors::FrameOutcome outcome;
     outcome.iteration = iteration;
+    outcome.now_s = device_.now();
     outcome.latency_s = result.e2e_latency_s();
     outcome.queue_wait_s = queue_wait_s;
     outcome.stage1_latency_s = result.stage1_s;

@@ -3,6 +3,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "telemetry/recorder.hpp"
 #include "workload/presets.hpp"
 
 namespace lotus::runtime {
@@ -45,6 +46,9 @@ Trace ExperimentRunner::run(governors::Governor& governor) const {
 
     // --- pre-training phase (not recorded) ----------------------------------
     if (config_.pretrain_iterations > 0) {
+        // Pretrain advances the clock and then rewinds it via reset();
+        // recording it would break the trace's monotonic timeline.
+        telemetry::SuspendScope no_telemetry;
         const auto& seg0 = config_.schedule.at(0);
         device.set_ambient(config_.ambient.at(0));
         auto& stream = stream_for(seg0.dataset);

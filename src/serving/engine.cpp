@@ -6,6 +6,7 @@
 #include "prof/profiler.hpp"
 #include "runtime/engine.hpp"
 #include "serving/scheduler.hpp"
+#include "telemetry/recorder.hpp"
 #include "util/rng.hpp"
 
 namespace lotus::serving {
@@ -93,6 +94,9 @@ ServingTrace ServingEngine::run(governors::Governor& governor) const {
 
     // --- pre-training phase (not recorded; mirrors ExperimentRunner) --------
     if (config_.pretrain_iterations > 0) {
+        // Pretrain advances the clock and then rewinds it via reset();
+        // recording it would break the trace's monotonic timeline.
+        telemetry::SuspendScope no_telemetry;
         const auto& warm = config_.streams.front();
         const double constraint = config_.pretrain_constraint_s > 0.0
                                       ? config_.pretrain_constraint_s
@@ -120,7 +124,38 @@ ServingTrace ServingEngine::run(governors::Governor& governor) const {
     std::size_t iteration = 0;
     double expected_service = 0.0;
 
+    // Request-lifecycle spans: one async span per request on its stream's
+    // track ("streams" pseudo-process), breaches recorded against the
+    // device so the flight recorder snapshots what the device was doing.
+    auto* tel = telemetry::current();
+    int tel_dev = -1;
+    int tel_queue = -1;
+    std::vector<int> tel_streams;
+    std::size_t tel_last_depth = static_cast<std::size_t>(-1);
+    if (tel) {
+        tel->set_context(device.telemetry_label());
+        tel_dev = tel->track(device.telemetry_label(), "platform");
+        tel_queue = tel->track(device.telemetry_label(), "queue");
+        tel_streams.reserve(config_.streams.size());
+        for (const auto& s : config_.streams) {
+            tel_streams.push_back(tel->track("streams", s.name));
+        }
+    }
+    const auto tel_queue_depth = [&](double t) {
+        if (!tel || queue.size() == tel_last_depth) return;
+        tel_last_depth = queue.size();
+        tel->counter(tel_queue, "queue_depth", t, static_cast<double>(queue.size()));
+    };
+
     const auto record_shed = [&](Request&& r, double now) {
+        if (tel) {
+            tel->async_end(tel_streams[r.stream], "request", r.id, now,
+                           "\"outcome\":\"shed\",\"queued_ms\":" +
+                               telemetry::jnum(std::max(0.0, now - r.arrival_s) * 1e3));
+            tel->breach(tel_dev, "shed", r.id, now,
+                        "\"stream\":" + telemetry::jstr(config_.streams[r.stream].name) +
+                            ",\"slo_ms\":" + telemetry::jnum(r.slo_s * 1e3));
+        }
         ServingRecord row;
         row.request_id = r.id;
         row.stream = r.stream;
@@ -141,8 +176,17 @@ ServingTrace ServingEngine::run(governors::Governor& governor) const {
         const double now = device.now();
         while (next_arrival < requests.size() &&
                requests[next_arrival].arrival_s <= now + kTimeEps) {
+            const Request& r = requests[next_arrival];
+            if (tel) {
+                // Span opens at the true arrival instant (possibly a hair
+                // before `now`); exporters order by timestamp, not append
+                // order, so the trace stays monotonic.
+                tel->async_begin(tel_streams[r.stream], "request", r.id, r.arrival_s,
+                                 "\"slo_ms\":" + telemetry::jnum(r.slo_s * 1e3));
+            }
             queue.push(requests[next_arrival++]);
         }
+        tel_queue_depth(now);
         if (queue.empty()) {
             // Device is free but no request is pending: idle (and cool)
             // until the next arrival.
@@ -153,6 +197,7 @@ ServingTrace ServingEngine::run(governors::Governor& governor) const {
 
         auto decision = scheduler->pick(queue, now, expected_service);
         for (auto& r : decision.shed) record_shed(std::move(r), now);
+        tel_queue_depth(now);
         if (!decision.next) continue;
         LOTUS_PROF_SCOPE("serving.dispatch");
         LOTUS_PROF_COUNT("serving.requests", 1);
@@ -161,6 +206,13 @@ ServingTrace ServingEngine::run(governors::Governor& governor) const {
         // Admission tolerates kTimeEps of clock shortfall; never report a
         // negative wait for a request taken the instant it arrived.
         const double wait = std::max(0.0, now - req.arrival_s);
+        if (tel) {
+            tel->instant(tel_queue, "dispatch", now,
+                         "\"request_id\":" + std::to_string(req.id) +
+                             ",\"stream\":" +
+                             telemetry::jstr(config_.streams[req.stream].name) +
+                             ",\"queue_wait_ms\":" + telemetry::jnum(wait * 1e3));
+        }
         const auto result =
             engine.run_frame(model, req.frame, governor, req.slo_s, iteration++, wait);
 
@@ -179,6 +231,20 @@ ServingTrace ServingEngine::run(governors::Governor& governor) const {
         row.cpu_temp = result.cpu_temp;
         row.gpu_temp = result.gpu_temp;
         row.energy_j = result.energy_j;
+        if (tel) {
+            const double done = device.now();
+            tel->async_end(tel_streams[req.stream], "request", req.id, done,
+                           std::string("\"outcome\":\"") +
+                               (row.missed ? "missed" : "served") +
+                               "\",\"e2e_ms\":" + telemetry::jnum(row.e2e_s * 1e3));
+            if (row.missed) {
+                tel->breach(tel_dev, "slo_miss", req.id, done,
+                            "\"stream\":" +
+                                telemetry::jstr(config_.streams[req.stream].name) +
+                                ",\"e2e_ms\":" + telemetry::jnum(row.e2e_s * 1e3) +
+                                ",\"slo_ms\":" + telemetry::jnum(req.slo_s * 1e3));
+            }
+        }
         trace.add(std::move(row));
 
         expected_service = expected_service <= 0.0

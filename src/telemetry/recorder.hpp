@@ -1,0 +1,201 @@
+#pragma once
+// Sim-time telemetry: a deterministic event/metrics recorder on the
+// *simulated* clock.
+//
+// src/prof observes the simulator (wall-clock of the host process); this
+// layer observes the simulated system -- thermal trajectories, OPP changes,
+// throttle trips, governor decisions, request lifecycles, routing -- on the
+// simulated timeline, so a shed request or an SLO miss can be traced back
+// to the exact sequence of events that caused it.
+//
+// Model: a Recorder holds a flat event log over named *tracks*. A track is
+// a (process, thread) pair following the Chrome trace-event convention:
+// every simulated device is a process (threads: "platform", "engine",
+// "governor", "rl", "queue"), request streams live under a shared "streams"
+// process (one thread per stream), and the fleet dispatcher under "fleet".
+// Events are durations (begin/end, strictly nested per track), async spans
+// (begin/end matched by id -- request lifecycles overlap freely), instants,
+// and counters. An SLO-breach flight recorder keeps the last-N events of
+// every process in a ring buffer; breach() snapshots that ring into a
+// compact report with the causal context of the miss.
+//
+// Determinism: one Recorder is bound per episode via BindScope, and an
+// episode runs entirely on one worker thread, so the Recorder needs no
+// locks and its byte output is a pure function of the episode -- `--jobs 1`
+// and `--jobs N` write identical files. Instrumentation sites read the
+// thread-local current() pointer and skip everything when it is null, so
+// recording disabled costs one TLS load per site and perturbs nothing (the
+// same stdout-byte-identity contract the profiler honors).
+//
+// Exporters (write(dir)): trace.json (Chrome trace-event JSON, loadable in
+// Perfetto / chrome://tracing), events.jsonl (one event per line),
+// metrics.csv (long-format counter time-series), breaches.jsonl (flight
+// recorder), manifest.json. All timestamps are simulated seconds; exports
+// are stable-sorted by time so files are monotonic even when an event is
+// recorded late (e.g. an arrival noticed after the clock passed it).
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lotus::telemetry {
+
+struct RecorderOptions {
+    /// Cadence of the periodic device samples (temperatures, frequencies,
+    /// power) [simulated seconds].
+    double sample_period_s = 0.25;
+    /// Flight-recorder depth: events per process kept for breach snapshots.
+    std::size_t ring_capacity = 32;
+};
+
+/// One recorded event. `phase` follows the Chrome trace-event letters:
+/// 'B'/'E' duration, 'b'/'e' async (matched by id), 'i' instant,
+/// 'C' counter.
+struct Event {
+    double t_s = 0.0;
+    char phase = 'i';
+    int track = -1;
+    std::uint64_t id = 0;  // async span id (request id)
+    double value = 0.0;    // counter value
+    std::string name;
+    /// Pre-rendered JSON object fragment ("k":v,... without braces); empty
+    /// when the event carries no arguments.
+    std::string args;
+};
+
+class Recorder {
+public:
+    explicit Recorder(RecorderOptions opt = {});
+
+    // --- tracks -------------------------------------------------------------
+    /// Id of the (process, thread) track, creating it on first use.
+    /// Processes and threads are numbered in first-seen order, so ids are a
+    /// pure function of the episode's event sequence.
+    int track(const std::string& process, const std::string& thread);
+
+    /// Set the ambient process ("which device is executing"): nested
+    /// emitters (the RL agent, the governor) attribute their events without
+    /// plumbing a device handle through every layer.
+    void set_context(std::string process) { context_ = std::move(process); }
+    [[nodiscard]] const std::string& context() const noexcept { return context_; }
+    /// Track under the current context process.
+    int context_track(const std::string& thread) { return track(context_, thread); }
+
+    // --- recording ----------------------------------------------------------
+    void begin(int track, std::string name, double t_s, std::string args = {});
+    /// Close the innermost open begin() on `track` (throws std::logic_error
+    /// when nothing is open -- unbalanced instrumentation is a bug).
+    void end(int track, double t_s);
+    void instant(int track, std::string name, double t_s, std::string args = {});
+    void counter(int track, std::string name, double t_s, double value);
+    void async_begin(int track, std::string name, std::uint64_t id, double t_s,
+                     std::string args = {});
+    void async_end(int track, std::string name, std::uint64_t id, double t_s,
+                   std::string args = {});
+
+    /// Flight recorder: report an SLO breach (miss/shed) on `track`'s
+    /// process, snapshotting the last ring_capacity events of that process
+    /// as causal context.
+    void breach(int track, std::string reason, std::uint64_t request_id, double t_s,
+                std::string args = {});
+
+    [[nodiscard]] std::size_t event_count() const noexcept { return log_.size(); }
+    [[nodiscard]] std::size_t breach_count() const noexcept { return breaches_.size(); }
+    [[nodiscard]] double sample_period_s() const noexcept { return opt_.sample_period_s; }
+
+    // --- exporters ----------------------------------------------------------
+    /// Chrome trace-event JSON (object form with traceEvents + metadata);
+    /// timestamps in microseconds, devices as processes, streams/governor
+    /// as threads.
+    [[nodiscard]] std::string chrome_trace_json() const;
+    /// One JSON object per line, time-sorted.
+    [[nodiscard]] std::string events_jsonl() const;
+    /// Long-format counter time-series: t_s,process,thread,metric,value.
+    [[nodiscard]] std::string metrics_csv() const;
+    /// One breach report per line, each with its event-ring snapshot.
+    [[nodiscard]] std::string breaches_jsonl() const;
+    [[nodiscard]] std::string manifest_json() const;
+
+    /// Write all five files into `dir` (created if missing).
+    void write(const std::string& dir) const;
+
+private:
+    struct TrackInfo {
+        std::string process;
+        std::string thread;
+        int pid = 0;
+        int tid = 0;
+        std::vector<std::string> open; // names of open begin() spans
+    };
+    struct Breach {
+        double t_s = 0.0;
+        int pid = 0;
+        std::string process;
+        std::string reason;
+        std::uint64_t request_id = 0;
+        std::string args;
+        std::vector<Event> context; // ring snapshot, oldest first
+    };
+
+    void emit(Event e);
+    /// Log indices stable-sorted by timestamp (append order breaks ties, so
+    /// the result is deterministic and monotonic).
+    [[nodiscard]] std::vector<std::size_t> time_order() const;
+
+    RecorderOptions opt_;
+    std::vector<Event> log_;
+    std::vector<TrackInfo> tracks_;
+    std::map<std::pair<std::string, std::string>, int> track_ids_;
+    std::map<std::string, int> pids_;
+    std::map<int, std::deque<Event>> rings_; // per-pid flight recorder
+    std::vector<Breach> breaches_;
+    std::string context_ = "sim";
+};
+
+// --- thread-local binding ----------------------------------------------------
+
+/// The recorder bound to this thread, or nullptr when recording is off.
+/// Instrumentation sites branch on this and pay nothing further when null.
+[[nodiscard]] Recorder* current() noexcept;
+
+/// Bind a recorder to the current thread for the scope's lifetime (the
+/// harness wraps each episode in one). Binding nullptr records nothing.
+class BindScope {
+public:
+    explicit BindScope(Recorder* recorder) noexcept;
+    ~BindScope();
+    BindScope(const BindScope&) = delete;
+    BindScope& operator=(const BindScope&) = delete;
+
+private:
+    Recorder* previous_;
+};
+
+/// Temporarily hide the bound recorder. Pre-training phases advance the
+/// device clock and then reset it to zero; recording them would break the
+/// monotonic-timestamp guarantee of the exports.
+class SuspendScope {
+public:
+    SuspendScope() noexcept;
+    ~SuspendScope();
+    SuspendScope(const SuspendScope&) = delete;
+    SuspendScope& operator=(const SuspendScope&) = delete;
+
+private:
+    Recorder* previous_;
+};
+
+// --- JSON fragment helpers ---------------------------------------------------
+// Instrumentation sites build `args` fragments by hand (the repo takes no
+// JSON dependency); these keep escaping and number formatting uniform.
+
+/// `v` as a JSON number; non-finite values degrade to null.
+[[nodiscard]] std::string jnum(double v);
+/// `s` as a JSON string with RFC 8259 escaping.
+[[nodiscard]] std::string jstr(const std::string& s);
+
+} // namespace lotus::telemetry

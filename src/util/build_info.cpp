@@ -1,0 +1,23 @@
+#include "util/build_info.hpp"
+
+#ifndef LOTUS_BUILD_ID
+#define LOTUS_BUILD_ID "unknown"
+#endif
+
+namespace lotus::util {
+
+const char* build_id() noexcept { return LOTUS_BUILD_ID; }
+
+std::string build_info_json_fields() {
+    // The build id is a git describe string (alnum, '.', '-', 'g' prefix);
+    // no JSON escaping is ever needed, but quote defensively anyway.
+    std::string id;
+    for (const char c : std::string(build_id())) {
+        if (c == '"' || c == '\\') id.push_back('\\');
+        id.push_back(c);
+    }
+    return "\"schema_version\":" + std::to_string(kSchemaVersion) + ",\"build\":\"" + id +
+           "\"";
+}
+
+} // namespace lotus::util

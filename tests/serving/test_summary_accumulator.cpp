@@ -1,0 +1,154 @@
+// SummaryAccumulator edge cases (PR 7 satellite): the streaming summariser
+// must stay bit-identical to the ledger-scan arithmetic on the degenerate
+// inputs the engine-driven parity tests (test_summary_only.cpp) never hit --
+// zero records, all-shed ledgers, and single-sample percentile inputs.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serving/trace.hpp"
+
+namespace lotus::serving {
+namespace {
+
+ServingRecord served(std::size_t id, std::size_t stream, double arrival_s,
+                     double wait_s, double service_s, double slo_s) {
+    ServingRecord r;
+    r.request_id = id;
+    r.stream = stream;
+    r.arrival_s = arrival_s;
+    r.start_s = arrival_s + wait_s;
+    r.queue_wait_s = wait_s;
+    r.service_s = service_s;
+    r.e2e_s = wait_s + service_s;
+    r.slo_s = slo_s;
+    r.missed = !slo_satisfied(r.e2e_s, slo_s);
+    r.cpu_temp = 40.0 + static_cast<double>(id);
+    r.gpu_temp = 44.0 + static_cast<double>(id);
+    r.energy_j = 0.5 + 0.1 * static_cast<double>(id);
+    return r;
+}
+
+ServingRecord shed(std::size_t id, std::size_t stream, double arrival_s, double wait_s) {
+    auto r = served(id, stream, arrival_s, wait_s, 0.0, 0.3);
+    r.service_s = 0.0;
+    r.e2e_s = wait_s;
+    r.shed = true;
+    r.missed = true;
+    r.energy_j = 0.0;
+    return r;
+}
+
+TEST(SummaryAccumulator, EmptyStreamSummarisesToZeros) {
+    const SummaryAccumulator acc;
+    const auto s = acc.summarize("idle_cam", 12.0);
+    EXPECT_EQ(s.stream, "idle_cam");
+    EXPECT_EQ(s.requests, 0u);
+    EXPECT_EQ(s.served, 0u);
+    EXPECT_EQ(s.shed, 0u);
+    EXPECT_EQ(s.missed, 0u);
+    EXPECT_EQ(s.p50_ms, 0.0);
+    EXPECT_EQ(s.p99_ms, 0.0);
+    EXPECT_EQ(s.miss_rate, 0.0);
+    EXPECT_EQ(s.throughput_rps, 0.0);
+    EXPECT_EQ(s.energy_per_req_j, 0.0);
+    EXPECT_EQ(s.mean_device_temp_c, 0.0);
+    EXPECT_EQ(s.peak_device_temp_c, 0.0);
+}
+
+TEST(SummaryAccumulator, AllShedLedgerHasNoLatencyButFullMissRate) {
+    SummaryAccumulator acc;
+    for (std::size_t i = 0; i < 4; ++i) {
+        acc.add(shed(i, 0, 0.1 * static_cast<double>(i), 0.2));
+    }
+    const auto s = acc.summarize("overload", 5.0);
+    EXPECT_EQ(s.requests, 4u);
+    EXPECT_EQ(s.served, 0u);
+    EXPECT_EQ(s.shed, 4u);
+    EXPECT_EQ(s.missed, 4u);
+    EXPECT_EQ(s.miss_rate, 1.0);
+    EXPECT_EQ(s.shed_rate, 1.0);
+    // No served sample: percentiles, wait, throughput and energy all stay
+    // zero instead of dividing by nothing.
+    EXPECT_EQ(s.p50_ms, 0.0);
+    EXPECT_EQ(s.p95_ms, 0.0);
+    EXPECT_EQ(s.mean_wait_ms, 0.0);
+    EXPECT_EQ(s.throughput_rps, 0.0);
+    EXPECT_EQ(s.energy_per_req_j, 0.0);
+    // Device temperature is still observed at shed time.
+    EXPECT_GT(s.mean_device_temp_c, 0.0);
+    EXPECT_EQ(s.peak_device_temp_c, 0.5 * ((40.0 + 3) + (44.0 + 3)));
+}
+
+TEST(SummaryAccumulator, SingleRequestCollapsesPercentiles) {
+    SummaryAccumulator acc;
+    acc.add(served(9, 0, 1.0, 0.05, 0.15, 0.9));
+    const auto s = acc.summarize("solo", 4.0);
+    EXPECT_EQ(s.requests, 1u);
+    EXPECT_EQ(s.served, 1u);
+    // One sample: every percentile is that sample.
+    EXPECT_EQ(s.p50_ms, 200.0);
+    EXPECT_EQ(s.p95_ms, 200.0);
+    EXPECT_EQ(s.p99_ms, 200.0);
+    EXPECT_EQ(s.mean_wait_ms, 50.0);
+    EXPECT_EQ(s.miss_rate, 0.0);
+    EXPECT_EQ(s.throughput_rps, 0.25);
+    EXPECT_EQ(s.energy_per_req_j, 0.5 + 0.9);
+}
+
+TEST(SummaryAccumulator, ZeroMakespanYieldsZeroThroughput) {
+    SummaryAccumulator acc;
+    acc.add(served(1, 0, 0.0, 0.0, 0.1, 0.9));
+    EXPECT_EQ(acc.summarize("all", 0.0).throughput_rps, 0.0);
+}
+
+TEST(SummaryAccumulator, MatchesLedgerScanOnMixedSyntheticRows) {
+    // Hand-crafted rows (out-of-order latencies, a shed, a miss) pushed
+    // through both paths of the same ServingTrace shape.
+    std::vector<ServingRecord> rows;
+    rows.push_back(served(0, 0, 0.0, 0.02, 0.30, 0.9));
+    rows.push_back(served(1, 1, 0.1, 0.40, 0.70, 0.9)); // e2e 1.1 > slo: miss
+    rows.push_back(shed(2, 0, 0.2, 0.25));
+    rows.push_back(served(3, 1, 0.3, 0.00, 0.10, 0.9));
+    rows.push_back(served(4, 0, 0.4, 0.05, 0.45, 0.9));
+
+    ServingTrace full({"cam0", "cam1"}, /*capture_rows=*/true);
+    ServingTrace fast({"cam0", "cam1"}, /*capture_rows=*/false);
+    for (const auto& r : rows) {
+        full.add(r);
+        fast.add(r);
+    }
+    for (auto* t : {&full, &fast}) {
+        t->set_makespan(2.5);
+        t->set_total_energy(7.0);
+    }
+
+    const auto full_sums = full.all_summaries();
+    const auto fast_sums = fast.all_summaries();
+    ASSERT_EQ(full_sums.size(), fast_sums.size());
+    for (std::size_t i = 0; i < full_sums.size(); ++i) {
+        const auto& a = full_sums[i];
+        const auto& b = fast_sums[i];
+        EXPECT_EQ(a.stream, b.stream);
+        EXPECT_EQ(a.requests, b.requests);
+        EXPECT_EQ(a.served, b.served);
+        EXPECT_EQ(a.shed, b.shed);
+        EXPECT_EQ(a.missed, b.missed);
+        // Exact double equality: same arithmetic, same order, same bits.
+        EXPECT_EQ(a.p50_ms, b.p50_ms) << a.stream;
+        EXPECT_EQ(a.p95_ms, b.p95_ms) << a.stream;
+        EXPECT_EQ(a.p99_ms, b.p99_ms) << a.stream;
+        EXPECT_EQ(a.mean_wait_ms, b.mean_wait_ms) << a.stream;
+        EXPECT_EQ(a.miss_rate, b.miss_rate) << a.stream;
+        EXPECT_EQ(a.shed_rate, b.shed_rate) << a.stream;
+        EXPECT_EQ(a.throughput_rps, b.throughput_rps) << a.stream;
+        EXPECT_EQ(a.energy_per_req_j, b.energy_per_req_j) << a.stream;
+        EXPECT_EQ(a.mean_device_temp_c, b.mean_device_temp_c) << a.stream;
+        EXPECT_EQ(a.peak_device_temp_c, b.peak_device_temp_c) << a.stream;
+    }
+}
+
+} // namespace
+} // namespace lotus::serving

@@ -15,8 +15,13 @@ the hardware-normalized throughput ratio
 of the serve_saturation cell (the end-to-end speedup the batched RL math
 bought), failing when the current ratio falls more than --threshold (10%)
 below the baseline's. It also re-asserts the correctness flags the bench
-already gated on (bit-identical losses / summaries / JSON), so a stale or
-hand-edited trajectory file cannot slip through.
+already gated on (bit-identical losses / summaries / JSON, telemetry
+non-perturbation), so a stale or hand-edited trajectory file cannot slip
+through.
+
+Even on a pass, every numeric metric of every cell present in both files
+is printed as a current-vs-baseline delta so CI logs show the trend, not
+just the verdict.
 
 --absolute additionally compares raw requests_per_sec per variant, for
 same-machine trend tracking; do not enable it on shared CI runners.
@@ -63,6 +68,43 @@ def throughput_ratio(doc, path):
     return batched / scalar
 
 
+def numeric_leaves(node, prefix=""):
+    """Flatten a cell into sorted (dotted.path, float) pairs, skipping bools."""
+    out = []
+    if isinstance(node, dict):
+        for key in sorted(node):
+            out.extend(numeric_leaves(node[key], f"{prefix}.{key}" if prefix else key))
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        out.append((prefix, float(node)))
+    return out
+
+
+def print_cell_deltas(cur, base):
+    """Print current-vs-baseline deltas for every shared numeric metric.
+
+    Informational only (never fails the check): raw wall-clock and
+    requests/sec depend on the host, but the per-cell trend is what a CI
+    log reader wants when deciding whether a pass was comfortable or
+    marginal.
+    """
+    cur_cells = cur.get("cells") if isinstance(cur.get("cells"), dict) else {}
+    base_cells = base.get("cells") if isinstance(base.get("cells"), dict) else {}
+    for cell in sorted(set(cur_cells) & set(base_cells)):
+        cur_leaves = dict(numeric_leaves(cur_cells[cell]))
+        base_leaves = dict(numeric_leaves(base_cells[cell]))
+        shared = sorted(set(cur_leaves) & set(base_leaves))
+        if not shared:
+            continue
+        print(f"cell {cell}:")
+        for path in shared:
+            c, b = cur_leaves[path], base_leaves[path]
+            if b != 0.0:
+                delta = f"{100.0 * (c - b) / abs(b):+.1f}%"
+            else:
+                delta = "n/a" if c == 0.0 else "new"
+            print(f"  {path}: current {c:g}, baseline {b:g} ({delta})")
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="compare BENCH_overhead.json against the committed baseline")
@@ -78,9 +120,9 @@ def main():
     base = load(args.baseline)
     failures = []
 
-    if cur.get("schema") != base.get("schema"):
-        failures.append(f"schema mismatch: current {cur.get('schema')} vs "
-                        f"baseline {base.get('schema')}")
+    if cur.get("schema_version") != base.get("schema_version"):
+        failures.append(f"schema_version mismatch: current {cur.get('schema_version')} "
+                        f"vs baseline {base.get('schema_version')}")
     if cur.get("fast_mode") != base.get("fast_mode"):
         failures.append(f"mode mismatch: current fast_mode={cur.get('fast_mode')} vs "
                         f"baseline fast_mode={base.get('fast_mode')} "
@@ -92,10 +134,13 @@ def main():
         ("train_step", "loss_bit_identical"),
         ("serve_saturation", "summaries_bit_identical"),
         ("summary_only_ledgers", "json_bit_identical"),
+        ("telemetry_overhead", "json_bit_identical"),
     ]
     for cell, flag in flags:
         if cur.get("cells", {}).get(cell, {}).get(flag) is not True:
             failures.append(f"current {cell}.{flag} is not true")
+
+    print_cell_deltas(cur, base)
 
     if not failures:
         r_cur = throughput_ratio(cur, args.current)

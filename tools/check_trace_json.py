@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Validate Chrome trace-event JSON written by the sim-time telemetry layer.
+
+Usage:
+    check_trace_json.py TRACE.json [TRACE.json ...]
+
+Checks, per file:
+
+  * the document is well-formed JSON with a "traceEvents" list and the
+    microsecond "displayTimeUnit" the exporter promises;
+  * every event carries name/ph/pid/tid, and every non-metadata event a
+    numeric ts;
+  * sim timestamps are globally non-decreasing across non-metadata events
+    (the recorder sorts stably by time, so any inversion is an exporter
+    bug, not interleaving);
+  * duration events pair up: each "E" closes the most recent open "B" on
+    the same (pid, tid) stack with the same name, and no stack is left
+    open at the end;
+  * async request spans pair up: each "e" matches an open "b" with the
+    same (cat, id), every "b" is eventually closed, and ends never
+    precede their begins;
+  * counter ("C") events carry at least one numeric series in args;
+  * metadata ("M") process_name/thread_name events carry args.name.
+
+Stdlib only; exit 0 when every file passes, 1 on validation failure,
+2 on unreadable/malformed input. Run by CI on the telemetry smoke step.
+"""
+
+import json
+import sys
+
+
+def fail(path, message, errors):
+    errors.append(f"{path}: {message}")
+
+
+def check_file(path, errors):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"check_trace_json: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        print(f"check_trace_json: {path} has no traceEvents list", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("displayTimeUnit") != "ms":
+        fail(path, f"displayTimeUnit is {doc.get('displayTimeUnit')!r}, expected 'ms'",
+             errors)
+
+    events = doc["traceEvents"]
+    last_ts = None
+    sync_stacks = {}   # (pid, tid) -> [open "B" names]
+    async_open = {}    # (cat, id) -> (begin name, begin ts)
+    counters = 0
+
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(path, f"{where} is not an object", errors)
+            continue
+        ph = ev.get("ph")
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            fail(path, f"{where} has no name", errors)
+            continue
+        if "pid" not in ev or "tid" not in ev:
+            fail(path, f"{where} ({ph} {name!r}) lacks pid/tid", errors)
+            continue
+
+        if ph == "M":
+            if name in ("process_name", "thread_name"):
+                args = ev.get("args")
+                if not isinstance(args, dict) or not args.get("name"):
+                    fail(path, f"{where} metadata {name} lacks args.name", errors)
+            continue
+
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            fail(path, f"{where} ({ph} {name!r}) has non-numeric ts", errors)
+            continue
+        if last_ts is not None and ts < last_ts:
+            fail(path, f"{where} ({ph} {name!r}) ts {ts} precedes previous {last_ts}",
+                 errors)
+        last_ts = ts
+
+        key = (ev["pid"], ev["tid"])
+        if ph == "B":
+            sync_stacks.setdefault(key, []).append(name)
+        elif ph == "E":
+            stack = sync_stacks.get(key)
+            if not stack:
+                fail(path, f"{where} 'E' {name!r} on {key} closes nothing", errors)
+            elif stack[-1] != name:
+                fail(path, f"{where} 'E' {name!r} on {key} mismatches open "
+                           f"'B' {stack[-1]!r}", errors)
+            else:
+                stack.pop()
+        elif ph == "b":
+            akey = (ev.get("cat"), ev.get("id"))
+            if akey[1] is None:
+                fail(path, f"{where} async 'b' {name!r} has no id", errors)
+            elif akey in async_open:
+                fail(path, f"{where} async 'b' {name!r} reuses open id {akey}", errors)
+            else:
+                async_open[akey] = (name, ts)
+        elif ph == "e":
+            akey = (ev.get("cat"), ev.get("id"))
+            begin = async_open.pop(akey, None)
+            if begin is None:
+                fail(path, f"{where} async 'e' {name!r} has no open 'b' for {akey}",
+                     errors)
+            elif ts < begin[1]:
+                fail(path, f"{where} async 'e' {name!r} at {ts} precedes its 'b' "
+                           f"at {begin[1]}", errors)
+        elif ph == "C":
+            counters += 1
+            args = ev.get("args")
+            series = [v for v in (args or {}).values()
+                      if isinstance(v, (int, float)) and not isinstance(v, bool)]
+            if not series:
+                fail(path, f"{where} counter {name!r} has no numeric args", errors)
+        elif ph == "i":
+            pass
+        else:
+            fail(path, f"{where} has unknown phase {ph!r}", errors)
+
+    for key, stack in sync_stacks.items():
+        if stack:
+            fail(path, f"unclosed 'B' frames on {key}: {stack}", errors)
+    for akey, (name, _) in async_open.items():
+        fail(path, f"async span {name!r} {akey} never ends", errors)
+
+    return len(events), counters
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print("usage: check_trace_json.py TRACE.json [TRACE.json ...]", file=sys.stderr)
+        return 2
+
+    errors = []
+    for path in sys.argv[1:]:
+        n, counters = check_file(path, errors)
+        status = "FAIL" if any(e.startswith(path + ":") for e in errors) else "ok"
+        print(f"{path}: {n} events ({counters} counter samples) [{status}]")
+
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    print("all traces valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -95,6 +95,10 @@ struct RenderOptions {
     /// Enable the internal profiler and print its per-scenario report to
     /// stderr (see src/prof/).
     bool profile = false;
+    /// Sim-time telemetry output directory (trace.json / events.jsonl /
+    /// metrics.csv / breaches.jsonl per episode, see src/telemetry/); empty
+    /// disables recording entirely.
+    std::string telemetry_dir;
 
     /// Serving/fleet episodes can skip materialising per-request ledger rows
     /// (bit-identical summaries, less allocation) exactly when no sink needs
@@ -113,6 +117,7 @@ inline harness::HarnessConfig harness_config(const RenderOptions& opt, std::size
     cfg.jobs = jobs;
     cfg.seed = seed;
     cfg.summary_only = opt.summary_only();
+    cfg.telemetry = !opt.telemetry_dir.empty();
     return cfg;
 }
 
@@ -147,6 +152,9 @@ inline void render_results(const RenderOptions& opt,
     }
     if (!opt.csv_dir.empty()) {
         sinks.push_back(std::make_unique<harness::CsvSink>(opt.csv_dir));
+    }
+    if (!opt.telemetry_dir.empty()) {
+        sinks.push_back(std::make_unique<harness::TelemetrySink>(opt.telemetry_dir));
     }
     if (opt.profile) sinks.push_back(std::make_unique<harness::ProfileSink>());
 

@@ -39,6 +39,10 @@
 //   --chart          render temperature/latency ASCII charts
 //   --profile        print the internal profiler's report to stderr
 //                    (per-scenario in scenario mode; see src/prof/)
+//   --telemetry DIR  record sim-time telemetry per episode and write it
+//                    under DIR/<scenario>/<arm>/: trace.json (Perfetto /
+//                    chrome://tracing), events.jsonl, metrics.csv,
+//                    breaches.jsonl, manifest.json (see src/telemetry/)
 //
 // Unknown flags, unknown enum values and malformed numbers are rejected
 // with a nonzero exit -- no silent fallbacks.
@@ -66,6 +70,7 @@ struct Options {
     std::uint64_t seed = 42;
     double constraint_ms = 0.0; // 0 -> preset
     std::string csv_path;
+    std::string telemetry_dir;
     cli::OutputFormat format = cli::OutputFormat::table;
     bool chart = false;
     bool profile = false;
@@ -114,6 +119,11 @@ Options parse(int argc, char** argv) {
             opt.format = cli::parse_format(kTool, need_value(i));
         } else if (flag == "--csv") {
             opt.csv_path = need_value(i);
+        } else if (flag == "--telemetry") {
+            opt.telemetry_dir = need_value(i);
+            if (opt.telemetry_dir.empty()) {
+                cli::usage_error(kTool, "--telemetry wants a directory");
+            }
         } else if (flag == "--chart") {
             opt.chart = true;
         } else if (flag == "--profile") {
@@ -174,6 +184,7 @@ int run_scenarios(const Options& opt) {
     render.chart = opt.chart;
     render.csv_dir = opt.csv_path;
     render.profile = opt.profile;
+    render.telemetry_dir = opt.telemetry_dir;
     cli::reject_chart_with_json(kTool, render);
     cli::apply_profile_flag(render);
 
@@ -219,7 +230,8 @@ int run_single(const Options& opt) {
                  scenario.config.schedule.at(0).latency_constraint_s * 1e3);
 
     if (opt.profile) prof::set_enabled(true);
-    const harness::ExperimentHarness harness({.jobs = 1, .seed = opt.seed});
+    const harness::ExperimentHarness harness(
+        {.jobs = 1, .seed = opt.seed, .telemetry = !opt.telemetry_dir.empty()});
     const auto results = harness.run(scenario);
     const auto& trace = results[0].trace;
 
@@ -258,6 +270,10 @@ int run_single(const Options& opt) {
         std::fprintf(opt.format == cli::OutputFormat::json ? stderr : stdout,
                      "trace written to %s (%zu rows)\n", opt.csv_path.c_str(),
                      trace.size());
+    }
+    if (!opt.telemetry_dir.empty()) {
+        // Single-run mode bypasses render_results, so attach the sink by hand.
+        harness::TelemetrySink(opt.telemetry_dir).consume(scenario, results);
     }
     if (opt.profile) {
         std::fprintf(stderr, "[profile] %s\n%s", scenario.name.c_str(),

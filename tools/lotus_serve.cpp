@@ -53,6 +53,10 @@
 //   --chart           render temperature / end-to-end latency ASCII charts
 //   --profile         print the internal profiler's per-scenario report to
 //                     stderr (regions + counters; see src/prof/)
+//   --telemetry DIR   record sim-time telemetry per episode and write it
+//                     under DIR/<scenario>/<arm>/: trace.json (Perfetto /
+//                     chrome://tracing), events.jsonl, metrics.csv,
+//                     breaches.jsonl, manifest.json (see src/telemetry/)
 //
 // Without --csv/--chart the serving/fleet episodes run summary-only: the
 // per-request ledger is never materialised (tables and JSON are
@@ -90,6 +94,7 @@ struct Options {
     std::uint64_t seed = 42;
     cli::OutputFormat format = cli::OutputFormat::table;
     std::string csv_dir;
+    std::string telemetry_dir;
     bool chart = false;
     bool profile = false;
     bool list_scenarios = false;
@@ -154,6 +159,11 @@ Options parse(int argc, char** argv) {
             opt.format = cli::parse_format(kTool, need_value(i));
         } else if (flag == "--csv") {
             opt.csv_dir = need_value(i);
+        } else if (flag == "--telemetry") {
+            opt.telemetry_dir = need_value(i);
+            if (opt.telemetry_dir.empty()) {
+                cli::usage_error(kTool, "--telemetry wants a directory");
+            }
         } else if (flag == "--chart") {
             opt.chart = true;
         } else if (flag == "--profile") {
@@ -186,6 +196,7 @@ cli::RenderOptions render_options(const Options& opt) {
     r.chart = opt.chart;
     r.csv_dir = opt.csv_dir;
     r.profile = opt.profile;
+    r.telemetry_dir = opt.telemetry_dir;
     cli::reject_chart_with_json(kTool, r);
     return r;
 }
