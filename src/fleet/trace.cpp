@@ -155,6 +155,7 @@ serving::ServingSummary FleetTrace::device_summary(std::size_t device) const {
         s = device_accs_[device].summarize(device_names_[device], makespan_s_);
     } else {
         std::vector<const FleetRecord*> rows;
+        rows.reserve(records_.size());
         for (const auto& r : records_) {
             if (r.device == device) rows.push_back(&r);
         }
@@ -176,6 +177,7 @@ serving::ServingSummary FleetTrace::stream_summary(std::size_t stream) const {
         return stream_accs_[stream].summarize(stream_names_[stream], makespan_s_);
     }
     std::vector<const FleetRecord*> rows;
+    rows.reserve(records_.size());
     for (const auto& r : records_) {
         if (r.row.stream == stream) rows.push_back(&r);
     }

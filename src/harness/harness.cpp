@@ -112,6 +112,9 @@ std::vector<EpisodeResult> ExperimentHarness::run(
         std::size_t arm_index;
     };
     std::vector<Episode> episodes;
+    std::size_t total_arms = 0;
+    for (const Scenario* s : batch) total_arms += s->arms.size();
+    episodes.reserve(total_arms);
     for (const Scenario* s : batch) {
         for (std::size_t a = 0; a < s->arms.size(); ++a) episodes.push_back({s, a});
     }

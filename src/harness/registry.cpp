@@ -841,6 +841,7 @@ const Scenario& ScenarioRegistry::at(const std::string& name) const {
 
 std::vector<const Scenario*> ScenarioRegistry::with_tag(const std::string& tag) const {
     std::vector<const Scenario*> out;
+    out.reserve(scenarios_.size());
     for (const auto& s : scenarios_) {
         if (s.has_tag(tag)) out.push_back(&s);
     }
@@ -849,6 +850,7 @@ std::vector<const Scenario*> ScenarioRegistry::with_tag(const std::string& tag) 
 
 std::vector<const Scenario*> ScenarioRegistry::with_prefix(const std::string& prefix) const {
     std::vector<const Scenario*> out;
+    out.reserve(scenarios_.size());
     for (const auto& s : scenarios_) {
         if (s.name.rfind(prefix, 0) == 0) out.push_back(&s);
     }

@@ -42,6 +42,7 @@ void SysfsFs::write(const std::string& path, const std::string& value) {
 
 std::vector<std::string> SysfsFs::list(const std::string& prefix) const {
     std::vector<std::string> out;
+    out.reserve(nodes_.size());
     for (const auto& [path, node] : nodes_) {
         if (path.compare(0, prefix.size(), prefix) == 0) out.push_back(path);
     }

@@ -160,6 +160,30 @@ Report Registry::capture() {
         report.counters[i].name = counter_names_[i];
         report.counters[i].value = i < counters.size() ? counters[i] : 0;
     }
+
+    // Emission boundary: interning order is first-execution order, which
+    // under a parallel harness depends on which worker reaches a call site
+    // first. Reports must be a pure function of the run, so sort regions and
+    // counters by name and remap the parent links through the permutation.
+    std::vector<std::size_t> order(report.regions.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return report.regions[a].name < report.regions[b].name;
+    });
+    std::vector<std::size_t> inverse(order.size());
+    for (std::size_t i = 0; i < order.size(); ++i) inverse[order[i]] = i;
+    std::vector<RegionReport> sorted_regions;
+    sorted_regions.reserve(order.size());
+    for (const auto idx : order) {
+        auto& r = report.regions[idx];
+        if (r.parent != kNoParent && r.parent < inverse.size()) {
+            r.parent = inverse[r.parent];
+        }
+        sorted_regions.push_back(std::move(r));
+    }
+    report.regions = std::move(sorted_regions);
+    std::sort(report.counters.begin(), report.counters.end(),
+              [](const CounterReport& a, const CounterReport& b) { return a.name < b.name; });
     return report;
 }
 
@@ -240,8 +264,10 @@ std::string report_text() {
 
     std::string out;
     if (any_timed) {
-        // Children grouped under their first-seen parent, siblings in
-        // registration order; indentation encodes depth.
+        // Children grouped under their first-seen parent, siblings in name
+        // order (capture() sorts the merged report so rendering is
+        // deterministic across thread interleavings); indentation encodes
+        // depth.
         std::vector<std::vector<std::size_t>> children(report.regions.size());
         std::vector<std::size_t> roots;
         for (std::size_t i = 0; i < report.regions.size(); ++i) {

@@ -108,7 +108,9 @@ private:
     bool active_;
 };
 
-/// Merge every thread's log (live and exited) into one snapshot.
+/// Merge every thread's log (live and exited) into one snapshot. Regions
+/// and counters are name-sorted (parent links remapped), so the snapshot is
+/// independent of which thread first executed each call site.
 [[nodiscard]] Report capture();
 /// Merged value of one counter by name (0 if never registered).
 [[nodiscard]] std::uint64_t counter_total(std::string_view name);

@@ -52,6 +52,9 @@ std::vector<Request> build_request_timeline(const std::vector<StreamSpec>& strea
                                             std::uint64_t seed,
                                             const std::string& instance) {
     std::vector<Request> all;
+    std::size_t total = 0;
+    for (const auto& stream : streams) total += stream.requests;
+    all.reserve(total);
     for (std::size_t s = 0; s < streams.size(); ++s) {
         const auto& stream = streams[s];
         const auto arrivals = generate_arrivals(

@@ -118,6 +118,7 @@ ServingSummary ServingTrace::stream_summary(std::size_t stream) const {
         return stream_accs_[stream].summarize(stream_names_[stream], makespan_s_);
     }
     std::vector<const ServingRecord*> rows;
+    rows.reserve(records_.size());
     for (const auto& r : records_) {
         if (r.stream == stream) rows.push_back(&r);
     }

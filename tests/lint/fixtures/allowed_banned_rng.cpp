@@ -1,0 +1,7 @@
+// Fixture: the inline escape hatch must silence [banned-rng].
+#include <random>
+
+unsigned long entropy_allowed() {
+    std::random_device rd; // lotus-lint: allow(banned-rng)
+    return rd();
+}

@@ -1,0 +1,15 @@
+// Fixture: stable-id keys must NOT trip [pointer-key-order], and the escape
+// hatch must silence a flagged site.
+#include <map>
+#include <string>
+
+struct Device;
+
+std::string first_device_name_ok(const std::map<int, std::string>& names_by_id) {
+    return names_by_id.empty() ? std::string{} : names_by_id.begin()->second;
+}
+
+bool contains_excused(const std::map<Device*, bool>& live, // lotus-lint: allow(pointer-key-order)
+                      Device* d) {
+    return live.count(d) != 0;
+}

@@ -1,0 +1,10 @@
+// Fixture: the inline escape hatch must silence [std-engine].
+#include <random>
+
+double draw_allowed() {
+    // Cross-checking util::Rng against a reference engine in a test is the
+    // one legitimate use.
+    std::mt19937 gen(12345); // lotus-lint: allow(std-engine)
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(gen);
+}

@@ -1,0 +1,9 @@
+// Fixture: the inline escape hatch must silence [thread-id-order].
+#include <thread>
+
+bool is_owner_thread(const void* owner_tag) {
+    // Debug-only ownership assertion; never feeds an artifact.
+    static thread_local const void* tag = nullptr;
+    (void)std::this_thread::get_id(); // lotus-lint: allow(thread-id-order)
+    return tag == owner_tag;
+}

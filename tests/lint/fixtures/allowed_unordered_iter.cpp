@@ -1,0 +1,19 @@
+// Fixture: lookups (no iteration) must NOT trip [unordered-iter], and the
+// escape hatch must silence an order-insensitive fold.
+#include <string>
+#include <unordered_map>
+
+int lookup_ok(const std::unordered_map<std::string, int>& counts,
+              const std::string& key) {
+    const auto it = counts.find(key);
+    return it == counts.end() ? 0 : it->second;
+}
+
+int sum_excused(const std::unordered_map<std::string, int>& counts) {
+    int total = 0;
+    // Addition is order-insensitive, so the fold is deterministic.
+    for (const auto& [name, value] : counts) { // lotus-lint: allow(unordered-iter)
+        total += value;
+    }
+    return total;
+}

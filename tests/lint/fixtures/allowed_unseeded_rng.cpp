@@ -1,0 +1,24 @@
+// Fixture: seeded construction and member declarations must NOT trip
+// [unseeded-rng], and the escape hatch must silence a flagged site.
+namespace util {
+class Rng {
+public:
+    Rng() = default;
+    explicit Rng(unsigned long long seed);
+    double uniform();
+};
+} // namespace util
+
+class Governor {
+    util::Rng rng_; // member: re-seeded in the constructor, exempt
+};
+
+double sample_seeded(unsigned long long episode_seed) {
+    util::Rng rng(episode_seed);
+    return rng.uniform();
+}
+
+double sample_excused() {
+    util::Rng rng; // lotus-lint: allow(unseeded-rng)
+    return rng.uniform();
+}

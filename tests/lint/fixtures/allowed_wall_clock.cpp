@@ -1,0 +1,13 @@
+// Fixture: the inline escape hatch must silence [wall-clock].
+#include <chrono>
+
+double coarse_watchdog_deadline() {
+    // A host-side watchdog genuinely needs host time and never feeds an
+    // artifact; the allow marker documents that at the site.
+    const auto t = std::chrono::steady_clock::now(); // lotus-lint: allow(wall-clock)
+    return static_cast<double>(t.time_since_epoch().count());
+}
+
+// Marker-on-previous-line form:
+// lotus-lint: allow(wall-clock)
+long stamp_allowed() { return time(nullptr); }

@@ -1,0 +1,10 @@
+// Fixture: nondeterministic entropy must trip [banned-rng].
+#include <cstdlib>
+#include <random>
+
+unsigned long entropy_broken() {
+    std::random_device rd;
+    return rd();
+}
+
+int legacy_broken() { return std::rand(); }

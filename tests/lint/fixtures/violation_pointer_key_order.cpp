@@ -1,0 +1,10 @@
+// Fixture: pointer-keyed ordered containers must trip [pointer-key-order]
+// (iteration order = allocation order under ASLR, different every run).
+#include <map>
+#include <string>
+
+struct Device;
+
+std::string first_device_name_broken(const std::map<Device*, std::string>& names) {
+    return names.empty() ? std::string{} : names.begin()->second;
+}

@@ -1,0 +1,9 @@
+// Fixture: <random> engines must trip [std-engine] (streams are neither
+// portable across standard libraries nor forkable; util::Rng is the law).
+#include <random>
+
+double draw_broken() {
+    std::mt19937 gen(12345);
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(gen);
+}

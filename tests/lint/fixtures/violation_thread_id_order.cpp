@@ -1,0 +1,8 @@
+// Fixture: thread-identity-derived ordering must trip [thread-id-order].
+#include <map>
+#include <thread>
+
+int worker_slot_broken(const std::map<std::thread::id, int>& slots) {
+    const auto it = slots.find(std::this_thread::get_id());
+    return it == slots.end() ? -1 : it->second;
+}

@@ -1,0 +1,13 @@
+// Fixture: iterating an unordered container must trip [unordered-iter] --
+// the order changes run to run, so anything it feeds (JSON, CSV, report
+// rows, merge order) goes nondeterministic with it.
+#include <string>
+#include <unordered_map>
+
+std::string render_broken(const std::unordered_map<std::string, int>& counts) {
+    std::string out;
+    for (const auto& [name, value] : counts) {
+        out += name + "=" + std::to_string(value) + "\n";
+    }
+    return out;
+}

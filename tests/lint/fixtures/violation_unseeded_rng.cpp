@@ -1,0 +1,18 @@
+// Fixture: default-constructed util::Rng locals must trip [unseeded-rng].
+// (Member declarations with trailing-underscore names are exempt; they are
+// re-seeded in their owner's constructor.)
+namespace util {
+class Rng {
+public:
+    Rng() = default;
+    explicit Rng(unsigned long long seed);
+    double uniform();
+};
+} // namespace util
+
+double sample_broken() {
+    util::Rng rng;
+    return rng.uniform();
+}
+
+double sample_temporary_broken() { return util::Rng().uniform(); }

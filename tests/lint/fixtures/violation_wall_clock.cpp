@@ -1,0 +1,11 @@
+// Fixture: wall-clock reads outside src/prof/ must trip [wall-clock].
+// Not compiled -- linted only (tests/lint via lotus_lint.py --self-test).
+#include <chrono>
+#include <ctime>
+
+double sim_now_broken() {
+    const auto t = std::chrono::steady_clock::now();
+    return static_cast<double>(t.time_since_epoch().count());
+}
+
+long stamp_broken() { return time(nullptr); }

@@ -137,6 +137,36 @@ TEST_F(ProfilerTest, WorkerThreadLogsMergeIntoTheCapture) {
               static_cast<std::uint64_t>(kThreads * kPerThread));
 }
 
+TEST_F(ProfilerTest, CaptureIsNameSortedRegardlessOfInterningOrder) {
+    // Interning order is first-execution order, which under a parallel
+    // harness depends on thread interleaving; the capture must not be.
+    // Register from a worker thread in deliberately anti-alphabetical order,
+    // then more names from this thread, and expect one sorted report with
+    // parent links intact.
+    set_enabled(true);
+    std::thread worker([] {
+        LOTUS_PROF_SCOPE("test.sort_z");
+        LOTUS_PROF_COUNT("test.sortcnt_z", 1);
+    });
+    worker.join();
+    {
+        LOTUS_PROF_SCOPE("test.sort_a");
+        LOTUS_PROF_SCOPE("test.sort_m");
+        LOTUS_PROF_COUNT("test.sortcnt_a", 1);
+    }
+    const auto report = capture();
+    for (std::size_t i = 1; i < report.regions.size(); ++i) {
+        EXPECT_LT(report.regions[i - 1].name, report.regions[i].name);
+    }
+    for (std::size_t i = 1; i < report.counters.size(); ++i) {
+        EXPECT_LT(report.counters[i - 1].name, report.counters[i].name);
+    }
+    const auto* child = find_region(report, "test.sort_m");
+    ASSERT_NE(child, nullptr);
+    ASSERT_LT(child->parent, report.regions.size());
+    EXPECT_EQ(report.regions[child->parent].name, "test.sort_a");
+}
+
 TEST_F(ProfilerTest, ReportTextRendersRegionsAndCounters) {
     set_enabled(true);
     {

@@ -1,0 +1,400 @@
+#!/usr/bin/env python3
+"""lotus_lint: static determinism linter for the LOTUS tree.
+
+The repo's core contract is that every harness run is a pure function of the
+scenario: `--jobs N` must be byte-identical to serial, and a re-run with the
+same seed must reproduce the same artifacts bit for bit.  CI enforces that
+contract dynamically (diff smokes); this linter enforces it statically by
+banning the constructs that break it at their source:
+
+  rule              bans
+  ----------------  ---------------------------------------------------------
+  wall-clock        wall/monotonic clock reads (std::chrono::steady_clock,
+                    system_clock, high_resolution_clock, time(nullptr),
+                    gettimeofday, clock_gettime, clock()) anywhere outside
+                    src/prof/ -- the profiler is the one layer that is
+                    *supposed* to observe host time; everything else must run
+                    on the simulated clock.
+  banned-rng        nondeterministically seeded entropy: std::random_device,
+                    std::rand/srand (also shared-state, concurrency-mt-unsafe).
+  std-engine        <random> engines (mt19937, default_random_engine,
+                    minstd_rand*, ranlux*, knuth_b): their streams are not
+                    portable across standard libraries and cannot be forked;
+                    use util::Rng (xoshiro256++) instead.
+  unseeded-rng      default-constructed util::Rng locals/temporaries
+                    (`Rng r;`, `Rng()`, `Rng{}`): every simulation RNG must be
+                    seeded from the episode's derived seed, never from the
+                    library default.  Member declarations (trailing-underscore
+                    names, re-seeded in constructors) are exempt.
+  unordered-iter    iteration over std::unordered_map/unordered_set (range-for
+                    or explicit begin()/end()): iteration order is
+                    implementation-defined and changes run to run, so anything
+                    it feeds (JSON, CSV, reports, merge order) goes
+                    nondeterministic.  Sort at the emission boundary or use
+                    std::map/sorted vector.
+  thread-id-order   std::this_thread::get_id / std::thread::id in ordering or
+                    keys: thread identities depend on the scheduler, never on
+                    the scenario.
+  pointer-key-order std::map/std::set keyed by pointer and std::hash of a
+                    pointer type: address order is ASLR roulette.
+
+Escape hatches, in order of preference:
+
+  * inline: append `// lotus-lint: allow(<rule>)` to the offending line (or
+    place it alone on the line above) with a short justification;
+  * allowlist: add `<path-glob>:<rule>` to tools/lotus_lint_allow.txt for
+    sites that are legitimately exempt wholesale (kept deliberately short).
+
+Usage:
+  lotus_lint.py [--allowlist FILE] PATH...     lint *.cpp/*.hpp under PATHs
+  lotus_lint.py --self-test FIXTURE_DIR        verify the rule fixtures:
+      every fixtures file named violation_<rule>.cpp must trigger exactly
+      <rule>; every allowed_<rule>.cpp must be clean.
+
+Exit status: 0 clean, 1 violations found (or self-test mismatch), 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import re
+import sys
+from pathlib import Path
+
+# --- rule definitions --------------------------------------------------------
+
+# Each simple rule is (name, compiled pattern, human message).  File-scope
+# exemptions (e.g. src/prof/ may read the host clock) are handled in lint().
+SIMPLE_RULES = [
+    (
+        "wall-clock",
+        re.compile(
+            r"std::chrono::(?:steady_clock|system_clock|high_resolution_clock)"
+            r"|\btime\s*\(\s*(?:nullptr|NULL|0)\s*\)"
+            r"|\bgettimeofday\s*\("
+            r"|\bclock_gettime\s*\("
+            r"|\bstd::clock\s*\(\s*\)"
+        ),
+        "wall-clock read outside src/prof/; simulation and emission paths "
+        "must use the simulated clock",
+    ),
+    (
+        "banned-rng",
+        re.compile(r"\bstd::random_device\b|\bstd::s?rand\s*\("),
+        "nondeterministic entropy source; seed util::Rng from the episode's "
+        "derived seed instead",
+    ),
+    (
+        "std-engine",
+        re.compile(
+            r"\bstd::(?:mt19937(?:_64)?|default_random_engine|minstd_rand0?"
+            r"|ranlux\w+|knuth_b)\b"
+        ),
+        "<random> engine streams are not portable or forkable; use util::Rng",
+    ),
+    (
+        "thread-id-order",
+        re.compile(r"std::this_thread::get_id\s*\(|std::thread::id\b"),
+        "thread identity depends on the scheduler, never on the scenario; "
+        "key/order by episode identity instead",
+    ),
+    (
+        "pointer-key-order",
+        re.compile(
+            r"std::(?:map|set|multimap|multiset)\s*<\s*(?:const\s+)?"
+            r"[\w:]+(?:\s*<[^<>]*>)?\s*\*"
+            r"|std::hash\s*<\s*(?:const\s+)?[\w:]+(?:\s*<[^<>]*>)?\s*\*"
+        ),
+        "pointer-keyed ordering is address-space roulette; key by a stable "
+        "id (name, index, request id)",
+    ),
+    (
+        "unseeded-rng",
+        # Local/temporary default construction. Members follow the trailing
+        # underscore convention and are re-seeded in their constructors.
+        re.compile(
+            r"\b(?:util::)?Rng\s+\w*[^\s_;]\s*;"
+            r"|(?<!:)\b(?:util::)?Rng\s*(?:\(\s*\)|\{\s*\})(?!\s*[=;])"
+        ),
+        "default-constructed util::Rng; seed it from the episode's derived "
+        "seed (util::derive_seed)",
+    ),
+]
+
+UNORDERED_DECL = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s*[&*]*\s*(\w+)"
+)
+RANGE_FOR = re.compile(r"\bfor\s*\([^;()]*:\s*([^)]+)\)")
+ALLOW_INLINE = re.compile(r"//\s*lotus-lint:\s*allow\(([\w\-, ]+)\)")
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".h", ".cxx"}
+
+RULE_NAMES = [name for name, _, _ in SIMPLE_RULES] + ["unordered-iter"]
+
+
+class Violation:
+    def __init__(self, path: Path, line_no: int, rule: str, message: str, line: str):
+        self.path = path
+        self.line_no = line_no
+        self.rule = rule
+        self.message = message
+        self.line = line.strip()
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line_no}: [{self.rule}] {self.message}\n"
+            f"    {self.line}"
+        )
+
+
+def strip_strings_and_comments(line: str) -> str:
+    """Blank out string/char literals and // comments so patterns inside them
+    don't trip rules (the allow marker is parsed from the raw line)."""
+    out = []
+    i, n = 0, len(line)
+    quote = None
+    while i < n:
+        c = line[i]
+        if quote:
+            if c == "\\":
+                i += 2
+                continue
+            if c == quote:
+                quote = None
+            out.append(" ")
+            i += 1
+            continue
+        if c in "\"'":
+            quote = c
+            out.append(" ")
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break  # rest is a comment
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def allowed_rules_for_line(lines: list[str], idx: int) -> set[str]:
+    """Rules suppressed at line `idx` by an inline marker on that line or on
+    an immediately preceding marker-only line."""
+    allowed: set[str] = set()
+    m = ALLOW_INLINE.search(lines[idx])
+    if m:
+        allowed.update(r.strip() for r in m.group(1).split(","))
+    if idx > 0:
+        prev = lines[idx - 1].strip()
+        m = ALLOW_INLINE.fullmatch(prev) or (
+            ALLOW_INLINE.search(prev) if prev.startswith("//") else None
+        )
+        if m:
+            allowed.update(r.strip() for r in m.group(1).split(","))
+    return allowed
+
+
+def lint_file(path: Path, rel: str, allowlist: list[tuple[str, str]]) -> list[Violation]:
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as err:
+        print(f"lotus_lint: cannot read {path}: {err}", file=sys.stderr)
+        return []
+    lines = text.splitlines()
+    violations: list[Violation] = []
+
+    def file_allowed(rule: str) -> bool:
+        return any(
+            fnmatch.fnmatch(rel, glob) and rule_name == rule
+            for glob, rule_name in allowlist
+        )
+
+    # Names declared as unordered containers anywhere in this file (members,
+    # locals, params); iteration over them is what the rule bans.
+    unordered_names = set(UNORDERED_DECL.findall(text))
+
+    in_block_comment = False
+    for idx, raw in enumerate(lines):
+        line = raw
+        # Cheap block-comment tracking: ignore fully commented lines.
+        if in_block_comment:
+            if "*/" in line:
+                in_block_comment = False
+                line = line.split("*/", 1)[1]
+            else:
+                continue
+        if "/*" in line and "*/" not in line:
+            in_block_comment = True
+            line = line.split("/*", 1)[0]
+        code = strip_strings_and_comments(line)
+        if not code.strip():
+            continue
+        inline_allowed = allowed_rules_for_line(lines, idx)
+
+        for rule, pattern, message in SIMPLE_RULES:
+            if rule == "wall-clock" and rel.startswith("src/prof/"):
+                continue
+            if pattern.search(code):
+                if rule in inline_allowed or file_allowed(rule):
+                    continue
+                violations.append(Violation(path, idx + 1, rule, message, raw))
+
+        # unordered-iter: range-for over a declared unordered name or over an
+        # expression that is textually unordered; explicit iterator loops via
+        # .begin()/.end()/.cbegin()/.cend() on declared names.
+        hit = False
+        m = RANGE_FOR.search(code)
+        if m:
+            expr = m.group(1).strip()
+            expr_head = re.split(r"[.\->\[(]", expr, 1)[0].strip().lstrip("*&")
+            if expr_head in unordered_names or "unordered_" in expr:
+                hit = True
+        if not hit and unordered_names:
+            for name in unordered_names:
+                # begin() starts an iteration; `.end()` alone is the
+                # find()==end() lookup idiom and stays legal.
+                if re.search(rf"\b{re.escape(name)}\s*\.\s*c?begin\s*\(", code):
+                    hit = True
+                    break
+        if hit:
+            rule = "unordered-iter"
+            if rule not in inline_allowed and not file_allowed(rule):
+                violations.append(
+                    Violation(
+                        path,
+                        idx + 1,
+                        rule,
+                        "iteration over an unordered container feeds "
+                        "nondeterministic order into downstream output; sort "
+                        "at the emission boundary or use std::map",
+                        raw,
+                    )
+                )
+    return violations
+
+
+def load_allowlist(path: Path) -> list[tuple[str, str]]:
+    entries: list[tuple[str, str]] = []
+    if not path.exists():
+        return entries
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if ":" not in stripped:
+            print(f"lotus_lint: malformed allowlist entry: {stripped}", file=sys.stderr)
+            sys.exit(2)
+        glob, rule = stripped.rsplit(":", 1)
+        if rule not in RULE_NAMES:
+            print(f"lotus_lint: allowlist names unknown rule: {stripped}", file=sys.stderr)
+            sys.exit(2)
+        entries.append((glob.strip(), rule.strip()))
+    return entries
+
+
+def iter_sources(roots: list[Path]) -> list[tuple[Path, Path]]:
+    """(file, base) pairs; `base` is the root's parent so rel paths read
+    `src/...` / `tools/...` regardless of the cwd the linter runs from."""
+    pairs: list[tuple[Path, Path]] = []
+    for root in roots:
+        if root.is_file():
+            pairs.append((root, root.parent.parent))
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix in SOURCE_SUFFIXES and path.is_file():
+                pairs.append((path, root.parent))
+    return pairs
+
+
+def run_lint(paths: list[str], allowlist_path: Path) -> int:
+    allowlist = load_allowlist(allowlist_path)
+    violations: list[Violation] = []
+    files = 0
+    for path, base in iter_sources([Path(p) for p in paths]):
+        files += 1
+        rel = path.relative_to(base).as_posix() if base in path.parents else path.as_posix()
+        violations.extend(lint_file(path, rel, allowlist))
+    for v in violations:
+        print(v.render())
+    summary = f"lotus_lint: {files} files, {len(violations)} violation(s)"
+    print(summary, file=sys.stderr if violations else sys.stdout)
+    return 1 if violations else 0
+
+
+def run_self_test(fixture_dir: Path) -> int:
+    """Fixture contract: violation_<rule>.cpp triggers exactly {<rule>};
+    allowed_<rule>.cpp is clean (exercising the inline escape hatch)."""
+    failures = 0
+    covered: set[str] = set()
+    fixtures = sorted(fixture_dir.glob("*.cpp"))
+    if not fixtures:
+        print(f"lotus_lint --self-test: no fixtures in {fixture_dir}", file=sys.stderr)
+        return 1
+    for fixture in fixtures:
+        name = fixture.stem
+        if name.startswith("violation_"):
+            rule = name[len("violation_"):].replace("_", "-")
+            expect_hit = True
+        elif name.startswith("allowed_"):
+            rule = name[len("allowed_"):].replace("_", "-")
+            expect_hit = False
+        else:
+            print(f"  SKIP {fixture.name}: unrecognized fixture name")
+            continue
+        if rule not in RULE_NAMES:
+            print(f"  FAIL {fixture.name}: names unknown rule '{rule}'")
+            failures += 1
+            continue
+        hits = lint_file(fixture, f"fixtures/{fixture.name}", allowlist=[])
+        hit_rules = {v.rule for v in hits}
+        if expect_hit:
+            covered.add(rule)
+            if hit_rules != {rule}:
+                print(
+                    f"  FAIL {fixture.name}: expected exactly {{{rule}}}, "
+                    f"got {sorted(hit_rules) or 'no hits'}"
+                )
+                failures += 1
+            else:
+                print(f"  ok   {fixture.name}: triggers {rule}")
+        else:
+            if hit_rules:
+                print(f"  FAIL {fixture.name}: expected clean, got {sorted(hit_rules)}")
+                failures += 1
+            else:
+                print(f"  ok   {fixture.name}: clean (escape hatch honored)")
+    missing = set(RULE_NAMES) - covered
+    if missing:
+        print(f"  FAIL: rules without a violation fixture: {sorted(missing)}")
+        failures += 1
+    verdict = "PASS" if failures == 0 else f"FAIL ({failures})"
+    print(f"lotus_lint --self-test: {verdict}")
+    return 0 if failures == 0 else 1
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        prog="lotus_lint.py",
+        description="static determinism linter (see module docstring for rules)",
+    )
+    parser.add_argument("paths", nargs="*", help="directories/files to lint")
+    parser.add_argument(
+        "--allowlist",
+        default=str(Path(__file__).parent / "lotus_lint_allow.txt"),
+        help="allowlist file (default: tools/lotus_lint_allow.txt)",
+    )
+    parser.add_argument(
+        "--self-test",
+        metavar="FIXTURE_DIR",
+        help="verify rule fixtures instead of linting a tree",
+    )
+    args = parser.parse_args()
+    if args.self_test:
+        return run_self_test(Path(args.self_test))
+    if not args.paths:
+        parser.error("no paths given (or use --self-test FIXTURE_DIR)")
+    return run_lint(args.paths, Path(args.allowlist))
+
+
+if __name__ == "__main__":
+    sys.exit(main())
