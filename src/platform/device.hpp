@@ -251,6 +251,12 @@ private:
     std::size_t tel_gpu_level_ = 0;
     bool tel_cpu_engaged_ = false;
     bool tel_gpu_engaged_ = false;
+    // Rollup span state: sim time / energy already folded into the windowed
+    // rollups, and the OPP/throttle state that held since then.
+    double tel_rollup_t_ = 0.0;
+    double tel_rollup_energy_j_ = 0.0;
+    std::size_t tel_rollup_level_ = 0;
+    bool tel_rollup_throttled_ = false;
 };
 
 } // namespace lotus::platform

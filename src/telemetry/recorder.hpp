@@ -38,9 +38,12 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "telemetry/rollup.hpp"
 
 namespace lotus::telemetry {
 
@@ -50,6 +53,12 @@ struct RecorderOptions {
     double sample_period_s = 0.25;
     /// Flight-recorder depth: events per process kept for breach snapshots.
     std::size_t ring_capacity = 32;
+    /// Streaming aggregation: fold request outcomes, device spans and
+    /// temperature samples into fixed-window rollups (rollup.json) and the
+    /// fleet health scoreboard (health.json). O(windows) memory.
+    bool rollups = true;
+    /// Rollup window length [simulated seconds].
+    double rollup_window_s = 1.0;
 };
 
 /// One recorded event. `phase` follows the Chrome trace-event letters:
@@ -107,6 +116,12 @@ public:
     [[nodiscard]] std::size_t breach_count() const noexcept { return breaches_.size(); }
     [[nodiscard]] double sample_period_s() const noexcept { return opt_.sample_period_s; }
 
+    /// The streaming rollup accumulator, or nullptr when rollups are off.
+    /// Instrumentation sites feed it directly (same null-check discipline
+    /// as current()).
+    [[nodiscard]] Rollup* rollup() noexcept { return rollup_.get(); }
+    [[nodiscard]] const Rollup* rollup() const noexcept { return rollup_.get(); }
+
     // --- exporters ----------------------------------------------------------
     /// Chrome trace-event JSON (object form with traceEvents + metadata);
     /// timestamps in microseconds, devices as processes, streams/governor
@@ -119,8 +134,14 @@ public:
     /// One breach report per line, each with its event-ring snapshot.
     [[nodiscard]] std::string breaches_jsonl() const;
     [[nodiscard]] std::string manifest_json() const;
+    /// Windowed rollup time series (requires rollups on; throws otherwise).
+    [[nodiscard]] std::string rollup_json() const;
+    /// Fleet health scoreboard, joining the rollup aggregates with the
+    /// flight recorder's per-process breach counts (requires rollups on).
+    [[nodiscard]] std::string health_json() const;
 
-    /// Write all five files into `dir` (created if missing).
+    /// Write all artifacts into `dir` (created if missing): the five raw
+    /// files, plus rollup.json and health.json when rollups are on.
     void write(const std::string& dir) const;
 
 private:
@@ -147,6 +168,7 @@ private:
     [[nodiscard]] std::vector<std::size_t> time_order() const;
 
     RecorderOptions opt_;
+    std::unique_ptr<Rollup> rollup_;
     std::vector<Event> log_;
     std::vector<TrackInfo> tracks_;
     std::map<std::pair<std::string, std::string>, int> track_ids_;

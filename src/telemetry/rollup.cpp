@@ -1,0 +1,284 @@
+#include "telemetry/rollup.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "telemetry/recorder.hpp"
+#include "util/build_info.hpp"
+#include "util/stats.hpp"
+
+namespace lotus::telemetry {
+
+namespace {
+
+/// One scoreboard row being accumulated: the merge target for any subset
+/// of windows (a device, a stream, or the whole fleet).
+struct Agg {
+    std::uint64_t ok = 0;
+    std::uint64_t late = 0;
+    std::uint64_t shed = 0;
+    HistSketch e2e_ms;
+    HistSketch queue_wait_ms;
+    double energy_j = 0.0;
+    double throttle_s = 0.0;
+    HistSketch temp_c;
+    double headroom_min_c = std::numeric_limits<double>::infinity();
+    std::uint64_t breaches = 0;
+
+    [[nodiscard]] std::uint64_t requests() const { return ok + late + shed; }
+    [[nodiscard]] std::uint64_t served() const { return ok + late; }
+    [[nodiscard]] std::uint64_t missed() const { return late + shed; }
+
+    void add(const Rollup::StreamWindow& w) {
+        ok += w.ok;
+        late += w.late;
+        shed += w.shed;
+        e2e_ms.merge(w.e2e_ms);
+        queue_wait_ms.merge(w.queue_wait_ms);
+    }
+    void add(const Rollup::DeviceWindow& w) {
+        energy_j += w.energy_j;
+        throttle_s += w.throttle_s;
+        temp_c.merge(w.temp_c);
+        headroom_min_c = std::min(headroom_min_c, w.headroom_min_c);
+    }
+    void add(const Agg& a) {
+        ok += a.ok;
+        late += a.late;
+        shed += a.shed;
+        e2e_ms.merge(a.e2e_ms);
+        queue_wait_ms.merge(a.queue_wait_ms);
+        energy_j += a.energy_j;
+        throttle_s += a.throttle_s;
+        temp_c.merge(a.temp_c);
+        headroom_min_c = std::min(headroom_min_c, a.headroom_min_c);
+        breaches += a.breaches;
+    }
+
+    /// The shared scoreboard fields (no leading comma). Rates are null
+    /// when undefined (no requests / no samples) rather than fabricated.
+    [[nodiscard]] std::string fields() const {
+        const auto n = requests();
+        const double dn = static_cast<double>(n);
+        std::string o = "\"requests\":" + std::to_string(n);
+        o += ",\"served\":" + std::to_string(served());
+        o += ",\"shed\":" + std::to_string(shed);
+        o += ",\"missed\":" + std::to_string(missed());
+        const double nan = std::numeric_limits<double>::quiet_NaN();
+        o += ",\"attainment\":" +
+             jnum(n > 0 ? static_cast<double>(n - missed()) / dn : nan);
+        o += ",\"miss_rate\":" +
+             jnum(n > 0 ? static_cast<double>(missed()) / dn : nan);
+        o += ",\"shed_rate\":" +
+             jnum(n > 0 ? static_cast<double>(shed) / dn : nan);
+        o += ",\"e2e_p50_ms\":" + jnum(e2e_ms.empty() ? nan : e2e_ms.quantile(0.50));
+        o += ",\"e2e_p95_ms\":" + jnum(e2e_ms.empty() ? nan : e2e_ms.quantile(0.95));
+        o += ",\"e2e_p99_ms\":" + jnum(e2e_ms.empty() ? nan : e2e_ms.quantile(0.99));
+        o += ",\"queue_wait_p95_ms\":" +
+             jnum(queue_wait_ms.empty() ? nan : queue_wait_ms.quantile(0.95));
+        o += ",\"energy_j\":" + jnum(energy_j);
+        o += ",\"throttle_s\":" + jnum(throttle_s);
+        o += ",\"peak_temp_c\":" + jnum(temp_c.empty() ? nan : temp_c.max());
+        o += ",\"headroom_min_c\":" + jnum(headroom_min_c); // inf -> null
+        o += ",\"breaches\":" + std::to_string(breaches);
+        return o;
+    }
+};
+
+} // namespace
+
+Rollup::Rollup(double window_s) : window_s_(window_s) {
+    if (!(window_s > 0.0)) {
+        throw std::invalid_argument("Rollup: window_s must be positive");
+    }
+}
+
+Rollup::WindowId Rollup::window_of(double t_s) const {
+    return static_cast<WindowId>(std::floor(t_s / window_s_));
+}
+
+void Rollup::record_request(const std::string& device, const std::string& stream,
+                            double t_s, Outcome outcome, double e2e_ms,
+                            double wait_ms) {
+    auto& win = streams_[device][stream][window_of(t_s)];
+    switch (outcome) {
+        case Outcome::ok:
+            ++win.ok;
+            win.e2e_ms.add(e2e_ms);
+            break;
+        case Outcome::late:
+            ++win.late;
+            win.e2e_ms.add(e2e_ms);
+            break;
+        case Outcome::shed:
+            ++win.shed;
+            break;
+    }
+    win.queue_wait_ms.add(wait_ms);
+}
+
+void Rollup::record_device_span(const std::string& device, double from_s,
+                                double to_s, std::size_t opp_level,
+                                bool throttled, double energy_j) {
+    if (!(to_s > from_s)) return;
+    const double total = to_s - from_s;
+    auto& series = devices_[device];
+    double t = from_s;
+    WindowId w = window_of(from_s);
+    while (t < to_s) {
+        const double wend = (static_cast<double>(w) + 1.0) * window_s_;
+        const double seg_end = std::min(to_s, wend);
+        const double seg = seg_end - t;
+        if (seg > 0.0) {
+            auto& win = series[w];
+            win.opp_residency_s[opp_level] += seg;
+            if (throttled) win.throttle_s += seg;
+            win.energy_j += energy_j * (seg / total);
+        }
+        t = seg_end;
+        ++w;
+    }
+}
+
+void Rollup::record_temp_sample(const std::string& device, double t_s,
+                                double temp_c, double headroom_c) {
+    auto& win = devices_[device][window_of(t_s)];
+    win.temp_c.add(temp_c);
+    win.headroom_min_c = std::min(win.headroom_min_c, headroom_c);
+}
+
+std::string Rollup::rollup_json() const {
+    std::string o = "{" + util::build_info_json_fields();
+    o += ",\"window_s\":" + jnum(window_s_);
+    o += ",\"devices\":[";
+    bool first_dev = true;
+    for (const auto& [device, series] : devices_) {
+        if (!first_dev) o += ",";
+        first_dev = false;
+        o += "{\"device\":" + jstr(device) + ",\"windows\":[";
+        bool first_win = true;
+        for (const auto& [window, win] : series) {
+            if (!first_win) o += ",";
+            first_win = false;
+            o += "{\"window\":" + std::to_string(window);
+            o += ",\"start_s\":" + jnum(static_cast<double>(window) * window_s_);
+            o += ",\"energy_j\":" + jnum(win.energy_j);
+            o += ",\"throttle_s\":" + jnum(win.throttle_s);
+            o += ",\"opp_residency_s\":[";
+            bool first_opp = true;
+            for (const auto& [level, secs] : win.opp_residency_s) {
+                if (!first_opp) o += ",";
+                first_opp = false;
+                o += "[" + std::to_string(level) + "," + jnum(secs) + "]";
+            }
+            o += "],\"headroom_min_c\":" + jnum(win.headroom_min_c);
+            o += ",\"temp_c\":" + win.temp_c.json();
+            o += "}";
+        }
+        o += "]}";
+    }
+    o += "],\"streams\":[";
+    bool first_stream = true;
+    for (const auto& [device, by_stream] : streams_) {
+        for (const auto& [stream, series] : by_stream) {
+            if (!first_stream) o += ",";
+            first_stream = false;
+            o += "{\"device\":" + jstr(device) + ",\"stream\":" + jstr(stream);
+            o += ",\"windows\":[";
+            bool first_win = true;
+            for (const auto& [window, win] : series) {
+                if (!first_win) o += ",";
+                first_win = false;
+                o += "{\"window\":" + std::to_string(window);
+                o += ",\"start_s\":" + jnum(static_cast<double>(window) * window_s_);
+                o += ",\"ok\":" + std::to_string(win.ok);
+                o += ",\"late\":" + std::to_string(win.late);
+                o += ",\"shed\":" + std::to_string(win.shed);
+                o += ",\"served\":" + std::to_string(win.ok + win.late);
+                o += ",\"missed\":" + std::to_string(win.late + win.shed);
+                o += ",\"requests\":" + std::to_string(win.ok + win.late + win.shed);
+                o += ",\"e2e_ms\":" + win.e2e_ms.json();
+                o += ",\"queue_wait_ms\":" + win.queue_wait_ms.json();
+                o += "}";
+            }
+            o += "]}";
+        }
+    }
+    o += "]}";
+    return o;
+}
+
+std::string Rollup::health_json(
+    const std::map<std::string, std::uint64_t>& breaches_by_process) const {
+    // Scoreboard rows: per device (request counts joined with physical
+    // state), per stream (merged across devices), and the fleet total.
+    std::map<std::string, Agg> by_device;
+    std::map<std::string, Agg> by_stream;
+    std::set<WindowId> window_ids;
+    for (const auto& [device, by_stream_series] : streams_) {
+        for (const auto& [stream, series] : by_stream_series) {
+            for (const auto& [window, win] : series) {
+                by_device[device].add(win);
+                by_stream[stream].add(win);
+                window_ids.insert(window);
+            }
+        }
+    }
+    for (const auto& [device, series] : devices_) {
+        for (const auto& [window, win] : series) {
+            by_device[device].add(win);
+            window_ids.insert(window);
+        }
+    }
+    for (auto& [device, agg] : by_device) {
+        const auto it = breaches_by_process.find(device);
+        if (it != breaches_by_process.end()) agg.breaches = it->second;
+    }
+
+    Agg fleet;
+    for (const auto& [device, agg] : by_device) fleet.add(agg);
+    // Breach processes with no rollup row (e.g. a track that never served
+    // a request) still count toward the fleet total.
+    for (const auto& [process, count] : breaches_by_process) {
+        if (by_device.find(process) == by_device.end()) fleet.breaches += count;
+    }
+
+    // Load-balance skew over real devices (ones with physical series;
+    // excludes pseudo-devices like the fleet router's shed ledger).
+    util::RunningStats served_stats;
+    for (const auto& [device, series] : devices_) {
+        const auto it = by_device.find(device);
+        const double served =
+            it != by_device.end() ? static_cast<double>(it->second.served()) : 0.0;
+        served_stats.add(served);
+    }
+    const double mean = served_stats.mean();
+    const double skew = mean > 0.0 ? served_stats.stddev() / mean : 0.0;
+
+    std::string o = "{" + util::build_info_json_fields();
+    o += ",\"window_s\":" + jnum(window_s_);
+    o += ",\"windows\":" + std::to_string(window_ids.size());
+    o += ",\"fleet\":{\"devices\":" + std::to_string(devices_.size());
+    o += "," + fleet.fields();
+    o += ",\"load_skew\":" + jnum(skew) + "}";
+    o += ",\"devices\":[";
+    bool first = true;
+    for (const auto& [device, agg] : by_device) {
+        if (!first) o += ",";
+        first = false;
+        o += "{\"device\":" + jstr(device) + "," + agg.fields() + "}";
+    }
+    o += "],\"streams\":[";
+    first = true;
+    for (const auto& [stream, agg] : by_stream) {
+        if (!first) o += ",";
+        first = false;
+        o += "{\"stream\":" + jstr(stream) + "," + agg.fields() + "}";
+    }
+    o += "]}";
+    return o;
+}
+
+} // namespace lotus::telemetry

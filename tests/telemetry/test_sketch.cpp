@@ -1,0 +1,227 @@
+// HistSketch contract tests: the documented quantile error bound against
+// the exact util::percentiles(), exact-merge algebra (associativity,
+// commutativity, identity) as property tests over generated sketches, and
+// the degenerate shapes (empty / single sample / all identical / underflow)
+// that the bound's clamping makes exact.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "telemetry/sketch.hpp"
+#include "util/stats.hpp"
+
+namespace lotus::telemetry {
+namespace {
+
+// SplitMix64: tiny deterministic generator for property-test inputs (the
+// repo's tests avoid <random> distributions, whose outputs are
+// implementation-defined).
+class SplitMix64 {
+public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+    std::uint64_t next() {
+        state_ += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = state_;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+    /// Uniform double in [0, 1).
+    double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+private:
+    std::uint64_t state_;
+};
+
+/// Log-uniform sample spanning ~6 decades, the shape latencies take.
+double log_uniform(SplitMix64& rng) { return std::pow(10.0, rng.uniform() * 6.0 - 3.0); }
+
+std::vector<double> sample_values(std::uint64_t seed, std::size_t n) {
+    SplitMix64 rng(seed);
+    std::vector<double> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(log_uniform(rng));
+    return out;
+}
+
+HistSketch sketch_of(const std::vector<double>& values) {
+    HistSketch s;
+    for (const double v : values) s.add(v);
+    return s;
+}
+
+TEST(HistSketch, RejectsInvalidAccuracy) {
+    EXPECT_THROW(HistSketch(0.0), std::invalid_argument);
+    EXPECT_THROW(HistSketch(1.0), std::invalid_argument);
+    EXPECT_THROW(HistSketch(-0.5), std::invalid_argument);
+}
+
+TEST(HistSketch, EmptySketchIsZeroEverywhere) {
+    const HistSketch s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+    EXPECT_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(HistSketch, SingleSampleIsExactAtEveryQuantile) {
+    HistSketch s;
+    s.add(123.456);
+    for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+        EXPECT_EQ(s.quantile(q), 123.456) << "q=" << q;
+    }
+    EXPECT_EQ(s.min(), 123.456);
+    EXPECT_EQ(s.max(), 123.456);
+}
+
+TEST(HistSketch, AllIdenticalValuesAreExact) {
+    HistSketch s;
+    s.add(7.5, 1000);
+    EXPECT_EQ(s.count(), 1000u);
+    for (const double q : {0.0, 0.5, 0.95, 1.0}) {
+        EXPECT_EQ(s.quantile(q), 7.5) << "q=" << q;
+    }
+}
+
+TEST(HistSketch, UnderflowBucketHoldsNonPositiveValues) {
+    HistSketch s;
+    s.add(0.0);
+    s.add(-4.0);
+    s.add(1e-12);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_EQ(s.min(), -4.0);
+    EXPECT_EQ(s.max(), 1e-12);
+    // The underflow representative is 0, clamped into [min, max].
+    EXPECT_LE(s.quantile(0.5), 0.0);
+    EXPECT_GE(s.quantile(0.5), -4.0);
+}
+
+TEST(HistSketch, IgnoresNaNAndZeroWeight) {
+    HistSketch s;
+    s.add(std::nan(""));
+    s.add(5.0, 0);
+    EXPECT_TRUE(s.empty());
+}
+
+// The documented bound: quantile(q) estimates the order statistic at
+// 1-based rank r = floor(q * (n - 1)) + 1 within alpha relative error.
+TEST(HistSketch, QuantileErrorBoundAgainstExactOrderStatistics) {
+    for (const std::uint64_t seed : {1ULL, 42ULL, 977ULL}) {
+        auto values = sample_values(seed, 5000);
+        const HistSketch s = sketch_of(values);
+        std::sort(values.begin(), values.end());
+        const double alpha = s.relative_accuracy();
+        for (const double q : {0.0, 0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+            const auto r = static_cast<std::size_t>(
+                std::floor(q * static_cast<double>(values.size() - 1)));
+            const double exact = values[r];
+            const double est = s.quantile(q);
+            EXPECT_LE(std::abs(est - exact), alpha * exact + 1e-12)
+                << "seed=" << seed << " q=" << q;
+        }
+    }
+}
+
+// util::percentiles interpolates between adjacent order statistics, so the
+// sketch estimate must land within alpha of the bracketing order
+// statistics' envelope.
+TEST(HistSketch, QuantilesTrackUtilPercentiles) {
+    auto values = sample_values(7, 2000);
+    const HistSketch s = sketch_of(values);
+    const auto exact = util::percentiles(values, {50.0, 95.0, 99.0});
+    std::sort(values.begin(), values.end());
+    const double alpha = s.relative_accuracy();
+    const std::vector<double> qs = {0.50, 0.95, 0.99};
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+        const double pos = qs[i] * static_cast<double>(values.size() - 1);
+        const double lo = values[static_cast<std::size_t>(std::floor(pos))];
+        const double hi = values[static_cast<std::size_t>(std::ceil(pos))];
+        const double est = s.quantile(qs[i]);
+        EXPECT_GE(est, lo * (1.0 - alpha)) << "q=" << qs[i];
+        EXPECT_LE(est, hi * (1.0 + alpha)) << "q=" << qs[i];
+        // And the interpolated percentile itself sits inside [lo, hi], so
+        // estimate and util::percentiles agree to the same envelope.
+        EXPECT_GE(exact[i], lo);
+        EXPECT_LE(exact[i], hi);
+    }
+}
+
+TEST(HistSketch, ExtremesAreExact) {
+    auto values = sample_values(3, 500);
+    const HistSketch s = sketch_of(values);
+    const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+    EXPECT_EQ(s.min(), *lo);
+    EXPECT_EQ(s.max(), *hi);
+    EXPECT_EQ(s.quantile(0.0), *lo);
+    EXPECT_EQ(s.quantile(1.0), *hi);
+}
+
+// --- merge algebra ----------------------------------------------------------
+
+TEST(HistSketch, MergeIsCommutative) {
+    for (const std::uint64_t seed : {5ULL, 99ULL, 1234ULL}) {
+        const HistSketch a = sketch_of(sample_values(seed, 700));
+        const HistSketch b = sketch_of(sample_values(seed + 1, 300));
+        HistSketch ab = a;
+        ab.merge(b);
+        HistSketch ba = b;
+        ba.merge(a);
+        EXPECT_TRUE(ab == ba) << "seed=" << seed;
+        EXPECT_EQ(ab.json(), ba.json()) << "seed=" << seed;
+    }
+}
+
+TEST(HistSketch, MergeIsAssociative) {
+    for (const std::uint64_t seed : {8ULL, 64ULL, 4096ULL}) {
+        const HistSketch a = sketch_of(sample_values(seed, 400));
+        const HistSketch b = sketch_of(sample_values(seed + 1, 400));
+        const HistSketch c = sketch_of(sample_values(seed + 2, 400));
+        HistSketch left = a; // (a + b) + c
+        left.merge(b);
+        left.merge(c);
+        HistSketch bc = b; // a + (b + c)
+        bc.merge(c);
+        HistSketch right = a;
+        right.merge(bc);
+        EXPECT_TRUE(left == right) << "seed=" << seed;
+        EXPECT_EQ(left.json(), right.json()) << "seed=" << seed;
+    }
+}
+
+TEST(HistSketch, EmptySketchIsMergeIdentity) {
+    const HistSketch a = sketch_of(sample_values(17, 256));
+    HistSketch merged = a;
+    merged.merge(HistSketch{});
+    EXPECT_TRUE(merged == a);
+    HistSketch other;
+    other.merge(a);
+    EXPECT_TRUE(other == a);
+}
+
+TEST(HistSketch, ShardedMergeEqualsWholeRunSketch) {
+    const auto values = sample_values(29, 3000);
+    const HistSketch whole = sketch_of(values);
+    HistSketch merged;
+    for (std::size_t shard = 0; shard < 7; ++shard) {
+        HistSketch part;
+        for (std::size_t i = shard; i < values.size(); i += 7) part.add(values[i]);
+        merged.merge(part);
+    }
+    EXPECT_TRUE(merged == whole);
+    EXPECT_EQ(merged.json(), whole.json());
+}
+
+TEST(HistSketch, MergeRejectsMismatchedAccuracy) {
+    HistSketch a(0.01);
+    const HistSketch b(0.02);
+    EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+} // namespace
+} // namespace lotus::telemetry

@@ -135,6 +135,7 @@ def main():
         ("serve_saturation", "summaries_bit_identical"),
         ("summary_only_ledgers", "json_bit_identical"),
         ("telemetry_overhead", "json_bit_identical"),
+        ("rollup_overhead", "json_bit_identical"),
     ]
     for cell, flag in flags:
         if cur.get("cells", {}).get(cell, {}).get(flag) is not True:

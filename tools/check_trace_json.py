@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
-"""Validate Chrome trace-event JSON written by the sim-time telemetry layer.
+"""Validate telemetry artifacts written by the sim-time telemetry layer.
 
 Usage:
-    check_trace_json.py TRACE.json [TRACE.json ...]
+    check_trace_json.py [--reconcile SUMMARY.csv] ARTIFACT [ARTIFACT ...]
 
-Checks, per file:
+The checker dispatches on the artifact's basename:
 
+trace.json (Chrome trace-event JSON):
   * the document is well-formed JSON with a "traceEvents" list and the
     microsecond "displayTimeUnit" the exporter promises;
   * every event carries name/ph/pid/tid, and every non-metadata event a
@@ -22,26 +23,59 @@ Checks, per file:
   * counter ("C") events carry at least one numeric series in args;
   * metadata ("M") process_name/thread_name events carry args.name.
 
+health.json (fleet health scoreboard):
+  * schema_version / build stamp (util::build_info) present;
+  * every scoreboard row satisfies requests == served + shed,
+    shed <= missed <= requests, attainment/miss_rate/shed_rate in [0, 1]
+    (or null), and p50 <= p95 <= p99;
+  * per-device and per-stream row counts each sum to the fleet row.
+
+rollup.json (windowed rollups):
+  * schema_version present, window_s > 0;
+  * window ids strictly increasing per series, start_s == window * window_s;
+  * per stream window: requests == ok + late + shed, served == ok + late,
+    missed == late + shed, e2e sketch count == served, queue-wait sketch
+    count == requests, sketch bucket counts sum to the sketch count;
+  * per device window: throttle time and total OPP residency fit in the
+    window;
+  * totals reconcile with the sibling health.json's fleet row (counts
+    exactly, energy to float tolerance).
+
+--reconcile SUMMARY.csv additionally matches every health.json against the
+harness CSV sink's episode summary: the artifact path's <scenario>/<arm>
+directories identify the row (same sanitization rule as the sinks), and
+the fleet/aggregate request counts must agree exactly.
+
 Stdlib only; exit 0 when every file passes, 1 on validation failure,
 2 on unreadable/malformed input. Run by CI on the telemetry smoke step.
 """
 
+import csv
 import json
+import os
 import sys
+
+COUNT_KEYS = ("requests", "served", "shed", "missed")
 
 
 def fail(path, message, errors):
     errors.append(f"{path}: {message}")
 
 
-def check_file(path, errors):
+def load_json(path):
     try:
         with open(path, "r", encoding="utf-8") as fh:
-            doc = json.load(fh)
+            return json.load(fh)
     except (OSError, ValueError) as exc:
         print(f"check_trace_json: cannot read {path}: {exc}", file=sys.stderr)
         sys.exit(2)
 
+
+# --- trace.json --------------------------------------------------------------
+
+
+def check_trace(path, errors):
+    doc = load_json(path)
     if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
         print(f"check_trace_json: {path} has no traceEvents list", file=sys.stderr)
         sys.exit(2)
@@ -132,26 +166,271 @@ def check_file(path, errors):
     for akey, (name, _) in async_open.items():
         fail(path, f"async span {name!r} {akey} never ends", errors)
 
-    return len(events), counters
+    return f"{len(events)} events ({counters} counter samples)"
+
+
+# --- shared schema helpers ---------------------------------------------------
+
+
+def check_build_stamp(path, doc, errors):
+    if not isinstance(doc.get("schema_version"), int) or doc["schema_version"] < 1:
+        fail(path, f"schema_version is {doc.get('schema_version')!r}", errors)
+    if not isinstance(doc.get("build"), str) or not doc["build"]:
+        fail(path, "missing build stamp", errors)
+
+
+def counts_of(row):
+    return {k: row.get(k) for k in COUNT_KEYS}
+
+
+def check_scoreboard_row(path, where, row, errors):
+    for key in COUNT_KEYS + ("breaches",):
+        v = row.get(key)
+        if not isinstance(v, int) or v < 0:
+            fail(path, f"{where}.{key} is {v!r}, want a non-negative integer", errors)
+            return
+    if row["requests"] != row["served"] + row["shed"]:
+        fail(path, f"{where}: requests {row['requests']} != served {row['served']} "
+                   f"+ shed {row['shed']}", errors)
+    if not row["shed"] <= row["missed"] <= row["requests"]:
+        fail(path, f"{where}: expected shed <= missed <= requests, got "
+                   f"{row['shed']} / {row['missed']} / {row['requests']}", errors)
+    for key in ("attainment", "miss_rate", "shed_rate"):
+        v = row.get(key)
+        if v is not None and not (isinstance(v, (int, float)) and 0.0 <= v <= 1.0):
+            fail(path, f"{where}.{key} is {v!r}, want null or in [0, 1]", errors)
+    quantiles = [row.get(k) for k in ("e2e_p50_ms", "e2e_p95_ms", "e2e_p99_ms")]
+    if all(isinstance(q, (int, float)) for q in quantiles):
+        if not quantiles[0] <= quantiles[1] <= quantiles[2]:
+            fail(path, f"{where}: e2e quantiles not monotone: {quantiles}", errors)
+
+
+# --- health.json -------------------------------------------------------------
+
+
+def check_health(path, errors):
+    doc = load_json(path)
+    check_build_stamp(path, doc, errors)
+    fleet = doc.get("fleet")
+    if not isinstance(fleet, dict):
+        fail(path, "missing fleet row", errors)
+        return "invalid"
+    check_scoreboard_row(path, "fleet", fleet, errors)
+    for kind in ("devices", "streams"):
+        rows = doc.get(kind)
+        if not isinstance(rows, list):
+            fail(path, f"missing {kind} rows", errors)
+            continue
+        sums = dict.fromkeys(COUNT_KEYS, 0)
+        for row in rows:
+            name = row.get("device") or row.get("stream") or "?"
+            check_scoreboard_row(path, f"{kind}[{name}]", row, errors)
+            for key in COUNT_KEYS:
+                if isinstance(row.get(key), int):
+                    sums[key] += row[key]
+        for key in COUNT_KEYS:
+            if sums[key] != fleet.get(key):
+                fail(path, f"{kind} {key} sum {sums[key]} != fleet {fleet.get(key)}",
+                     errors)
+    return (f"{len(doc.get('devices', []))} devices, "
+            f"{len(doc.get('streams', []))} streams, "
+            f"{fleet.get('requests')} requests")
+
+
+# --- rollup.json -------------------------------------------------------------
+
+EPS = 1e-6
+
+
+def check_sketch(path, where, sketch, errors):
+    if not isinstance(sketch, dict):
+        fail(path, f"{where} is not a sketch object", errors)
+        return 0
+    count = sketch.get("count")
+    low = sketch.get("low", 0)
+    buckets = sketch.get("buckets")
+    if not isinstance(count, int) or not isinstance(buckets, list):
+        fail(path, f"{where} lacks count/buckets", errors)
+        return 0
+    total = low + sum(b[1] for b in buckets if isinstance(b, list) and len(b) == 2)
+    if total != count:
+        fail(path, f"{where}: bucket counts {total} != count {count}", errors)
+    return count
+
+
+def check_window_series(path, where, series, window_s, errors):
+    last = None
+    for win in series:
+        w = win.get("window")
+        if not isinstance(w, int):
+            fail(path, f"{where}: window id {w!r} not an integer", errors)
+            return
+        if last is not None and w <= last:
+            fail(path, f"{where}: window {w} does not increase past {last}", errors)
+        last = w
+        start = win.get("start_s")
+        want = w * window_s
+        if not isinstance(start, (int, float)) or abs(start - want) > EPS * max(1.0, abs(want)):
+            fail(path, f"{where}: window {w} start_s {start!r} != {want}", errors)
+
+
+def check_rollup(path, errors):
+    doc = load_json(path)
+    check_build_stamp(path, doc, errors)
+    window_s = doc.get("window_s")
+    if not isinstance(window_s, (int, float)) or window_s <= 0:
+        fail(path, f"window_s is {window_s!r}", errors)
+        return "invalid"
+
+    totals = dict.fromkeys(COUNT_KEYS, 0)
+    energy = 0.0
+    n_windows = 0
+    for dev in doc.get("devices", []):
+        name = dev.get("device", "?")
+        series = dev.get("windows", [])
+        check_window_series(path, f"device[{name}]", series, window_s, errors)
+        for win in series:
+            n_windows += 1
+            where = f"device[{name}] window {win.get('window')}"
+            energy += win.get("energy_j", 0.0)
+            throttle = win.get("throttle_s", 0.0)
+            if not -EPS <= throttle <= window_s + EPS:
+                fail(path, f"{where}: throttle_s {throttle} outside window", errors)
+            # Each per-level residency is serialized to 6 decimal places, so
+            # the sum of rounded terms can overshoot by 0.5e-6 per level.
+            levels = win.get("opp_residency_s", [])
+            residency = sum(r[1] for r in levels)
+            if residency > window_s + EPS * (1 + len(levels)):
+                fail(path, f"{where}: OPP residency {residency} exceeds window", errors)
+            check_sketch(path, f"{where} temp_c", win.get("temp_c"), errors)
+    for st in doc.get("streams", []):
+        name = f"{st.get('device', '?')}/{st.get('stream', '?')}"
+        series = st.get("windows", [])
+        check_window_series(path, f"stream[{name}]", series, window_s, errors)
+        for win in series:
+            n_windows += 1
+            where = f"stream[{name}] window {win.get('window')}"
+            ok, late, shed = (win.get(k, -1) for k in ("ok", "late", "shed"))
+            if win.get("requests") != ok + late + shed:
+                fail(path, f"{where}: requests != ok + late + shed", errors)
+            if win.get("served") != ok + late:
+                fail(path, f"{where}: served != ok + late", errors)
+            if win.get("missed") != late + shed:
+                fail(path, f"{where}: missed != late + shed", errors)
+            e2e_count = check_sketch(path, f"{where} e2e_ms", win.get("e2e_ms"), errors)
+            wait_count = check_sketch(path, f"{where} queue_wait_ms",
+                                      win.get("queue_wait_ms"), errors)
+            if e2e_count != win.get("served"):
+                fail(path, f"{where}: e2e sketch count {e2e_count} != served "
+                           f"{win.get('served')}", errors)
+            if wait_count != win.get("requests"):
+                fail(path, f"{where}: queue-wait sketch count {wait_count} != "
+                           f"requests {win.get('requests')}", errors)
+            for key in COUNT_KEYS:
+                totals[key] += win.get(key, 0)
+
+    # The sibling scoreboard is computed from the same accumulators; its
+    # fleet row must agree with the windowed series exactly.
+    health_path = os.path.join(os.path.dirname(path), "health.json")
+    if os.path.exists(health_path):
+        fleet = load_json(health_path).get("fleet", {})
+        for key in COUNT_KEYS:
+            if totals[key] != fleet.get(key):
+                fail(path, f"window {key} total {totals[key]} != health.json fleet "
+                           f"{fleet.get(key)}", errors)
+        fleet_energy = fleet.get("energy_j", 0.0)
+        if abs(energy - fleet_energy) > EPS * max(1.0, abs(fleet_energy)):
+            fail(path, f"window energy total {energy} != health.json fleet "
+                       f"{fleet_energy}", errors)
+    return f"{n_windows} windows, {totals['requests']} requests"
+
+
+# --- summary.csv reconciliation ----------------------------------------------
+
+
+def sanitize(name):
+    """The harness sinks' artifact-name sanitization (sinks.cpp)."""
+    return "".join(c if (c.isascii() and c.isalnum()) or c in "-_" else "_"
+                   for c in name)
+
+
+def load_summary_rows(path):
+    """(sanitized scenario, sanitized arm) -> aggregate-count row."""
+    rows = {}
+    try:
+        with open(path, "r", encoding="utf-8", newline="") as fh:
+            for row in csv.DictReader(fh):
+                if "scope" in row:
+                    if row["scope"] != "fleet":
+                        continue
+                elif row.get("stream") != "all":
+                    continue
+                key = (sanitize(row["scenario"]), sanitize(row["arm"]))
+                rows[key] = {k: int(row[k]) for k in COUNT_KEYS}
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"check_trace_json: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    return rows
+
+
+def reconcile_health(path, summary_rows, csv_path, errors):
+    parts = os.path.normpath(os.path.abspath(path)).split(os.sep)
+    key = tuple(parts[-3:-1])  # .../<scenario>/<arm>/health.json
+    expected = summary_rows.get(key)
+    if expected is None:
+        fail(path, f"no {csv_path} aggregate row for {key[0]}/{key[1]}", errors)
+        return
+    fleet = load_json(path).get("fleet", {})
+    for k in COUNT_KEYS:
+        if fleet.get(k) != expected[k]:
+            fail(path, f"fleet {k} {fleet.get(k)} != summary.csv {expected[k]}",
+                 errors)
+
+
+# --- driver ------------------------------------------------------------------
+
+CHECKERS = {
+    "trace.json": check_trace,
+    "health.json": check_health,
+    "rollup.json": check_rollup,
+}
 
 
 def main():
-    if len(sys.argv) < 2:
+    args = sys.argv[1:]
+    reconcile_csv = None
+    if args and args[0] == "--reconcile":
+        if len(args) < 2:
+            print("check_trace_json: --reconcile wants a summary.csv", file=sys.stderr)
+            return 2
+        reconcile_csv = args[1]
+        args = args[2:]
+    if not args:
         print(__doc__.strip().splitlines()[0], file=sys.stderr)
-        print("usage: check_trace_json.py TRACE.json [TRACE.json ...]", file=sys.stderr)
+        print("usage: check_trace_json.py [--reconcile SUMMARY.csv] "
+              "ARTIFACT [ARTIFACT ...]", file=sys.stderr)
         return 2
 
+    summary_rows = load_summary_rows(reconcile_csv) if reconcile_csv else None
+
     errors = []
-    for path in sys.argv[1:]:
-        n, counters = check_file(path, errors)
+    for path in args:
+        checker = CHECKERS.get(os.path.basename(path))
+        if checker is None:
+            print(f"check_trace_json: {path}: unknown artifact (expected one of "
+                  f"{', '.join(CHECKERS)})", file=sys.stderr)
+            return 2
+        detail = checker(path, errors)
+        if summary_rows is not None and os.path.basename(path) == "health.json":
+            reconcile_health(path, summary_rows, reconcile_csv, errors)
         status = "FAIL" if any(e.startswith(path + ":") for e in errors) else "ok"
-        print(f"{path}: {n} events ({counters} counter samples) [{status}]")
+        print(f"{path}: {detail} [{status}]")
 
     if errors:
         for e in errors:
             print(f"FAIL: {e}", file=sys.stderr)
         return 1
-    print("all traces valid")
+    print("all artifacts valid")
     return 0
 
 

@@ -99,6 +99,10 @@ struct RenderOptions {
     /// metrics.csv / breaches.jsonl per episode, see src/telemetry/); empty
     /// disables recording entirely.
     std::string telemetry_dir;
+    /// breaches.jsonl flight-recorder depth (events per process kept for
+    /// breach snapshots); 0 keeps the RecorderOptions default. Only
+    /// consulted when telemetry is on.
+    std::size_t telemetry_ring = 0;
 
     /// Serving/fleet episodes can skip materialising per-request ledger rows
     /// (bit-identical summaries, less allocation) exactly when no sink needs
@@ -118,6 +122,7 @@ inline harness::HarnessConfig harness_config(const RenderOptions& opt, std::size
     cfg.seed = seed;
     cfg.summary_only = opt.summary_only();
     cfg.telemetry = !opt.telemetry_dir.empty();
+    if (opt.telemetry_ring > 0) cfg.telemetry_options.ring_capacity = opt.telemetry_ring;
     return cfg;
 }
 

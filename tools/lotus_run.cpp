@@ -42,7 +42,11 @@
 //   --telemetry DIR  record sim-time telemetry per episode and write it
 //                    under DIR/<scenario>/<arm>/: trace.json (Perfetto /
 //                    chrome://tracing), events.jsonl, metrics.csv,
-//                    breaches.jsonl, manifest.json (see src/telemetry/)
+//                    breaches.jsonl, manifest.json, rollup.json,
+//                    health.json (see src/telemetry/)
+//   --telemetry-ring N  breaches.jsonl flight-recorder depth: last-N events
+//                    per process snapshotted into each breach report
+//                    (default 32; requires --telemetry, N >= 1)
 //
 // Unknown flags, unknown enum values and malformed numbers are rejected
 // with a nonzero exit -- no silent fallbacks.
@@ -71,6 +75,7 @@ struct Options {
     double constraint_ms = 0.0; // 0 -> preset
     std::string csv_path;
     std::string telemetry_dir;
+    std::size_t telemetry_ring = 0; // 0 -> recorder default
     cli::OutputFormat format = cli::OutputFormat::table;
     bool chart = false;
     bool profile = false;
@@ -124,6 +129,11 @@ Options parse(int argc, char** argv) {
             if (opt.telemetry_dir.empty()) {
                 cli::usage_error(kTool, "--telemetry wants a directory");
             }
+        } else if (flag == "--telemetry-ring") {
+            opt.telemetry_ring = static_cast<std::size_t>(u64(flag, need_value(i)));
+            if (opt.telemetry_ring == 0) {
+                cli::usage_error(kTool, "--telemetry-ring must be >= 1");
+            }
         } else if (flag == "--chart") {
             opt.chart = true;
         } else if (flag == "--profile") {
@@ -141,6 +151,9 @@ Options parse(int argc, char** argv) {
         } else {
             cli::usage_error(kTool, "unknown flag " + flag);
         }
+    }
+    if (opt.telemetry_ring > 0 && opt.telemetry_dir.empty()) {
+        cli::usage_error(kTool, "--telemetry-ring requires --telemetry");
     }
     return opt;
 }
@@ -185,6 +198,7 @@ int run_scenarios(const Options& opt) {
     render.csv_dir = opt.csv_path;
     render.profile = opt.profile;
     render.telemetry_dir = opt.telemetry_dir;
+    render.telemetry_ring = opt.telemetry_ring;
     cli::reject_chart_with_json(kTool, render);
     cli::apply_profile_flag(render);
 
@@ -230,8 +244,10 @@ int run_single(const Options& opt) {
                  scenario.config.schedule.at(0).latency_constraint_s * 1e3);
 
     if (opt.profile) prof::set_enabled(true);
-    const harness::ExperimentHarness harness(
-        {.jobs = 1, .seed = opt.seed, .telemetry = !opt.telemetry_dir.empty()});
+    harness::HarnessConfig cfg{
+        .jobs = 1, .seed = opt.seed, .telemetry = !opt.telemetry_dir.empty()};
+    if (opt.telemetry_ring > 0) cfg.telemetry_options.ring_capacity = opt.telemetry_ring;
+    const harness::ExperimentHarness harness(cfg);
     const auto results = harness.run(scenario);
     const auto& trace = results[0].trace;
 

@@ -56,7 +56,11 @@
 //   --telemetry DIR   record sim-time telemetry per episode and write it
 //                     under DIR/<scenario>/<arm>/: trace.json (Perfetto /
 //                     chrome://tracing), events.jsonl, metrics.csv,
-//                     breaches.jsonl, manifest.json (see src/telemetry/)
+//                     breaches.jsonl, manifest.json, rollup.json,
+//                     health.json (see src/telemetry/)
+//   --telemetry-ring N  breaches.jsonl flight-recorder depth: last-N events
+//                     per process snapshotted into each breach report
+//                     (default 32; requires --telemetry, N >= 1)
 //
 // Without --csv/--chart the serving/fleet episodes run summary-only: the
 // per-request ledger is never materialised (tables and JSON are
@@ -95,6 +99,7 @@ struct Options {
     cli::OutputFormat format = cli::OutputFormat::table;
     std::string csv_dir;
     std::string telemetry_dir;
+    std::size_t telemetry_ring = 0; // 0 -> recorder default
     bool chart = false;
     bool profile = false;
     bool list_scenarios = false;
@@ -164,6 +169,11 @@ Options parse(int argc, char** argv) {
             if (opt.telemetry_dir.empty()) {
                 cli::usage_error(kTool, "--telemetry wants a directory");
             }
+        } else if (flag == "--telemetry-ring") {
+            opt.telemetry_ring = static_cast<std::size_t>(u64(flag, need_value(i)));
+            if (opt.telemetry_ring == 0) {
+                cli::usage_error(kTool, "--telemetry-ring must be >= 1");
+            }
         } else if (flag == "--chart") {
             opt.chart = true;
         } else if (flag == "--profile") {
@@ -187,6 +197,9 @@ Options parse(int argc, char** argv) {
             cli::usage_error(kTool, "unknown flag " + flag);
         }
     }
+    if (opt.telemetry_ring > 0 && opt.telemetry_dir.empty()) {
+        cli::usage_error(kTool, "--telemetry-ring requires --telemetry");
+    }
     return opt;
 }
 
@@ -197,6 +210,7 @@ cli::RenderOptions render_options(const Options& opt) {
     r.csv_dir = opt.csv_dir;
     r.profile = opt.profile;
     r.telemetry_dir = opt.telemetry_dir;
+    r.telemetry_ring = opt.telemetry_ring;
     cli::reject_chart_with_json(kTool, r);
     return r;
 }
