@@ -57,6 +57,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <new>
@@ -686,6 +687,65 @@ bool perf_trajectory() {
                 roll_off_s, roll_on_s, roll_overhead_pct,
                 roll_identical ? "byte-identical" : "DIFFERS");
 
+    // --- cell 7: trace capture + replay -------------------------------------
+    // The trace subsystem's whole value rests on replay being *the same
+    // episode*: record serve_saturation's request timelines during one run,
+    // replay the scenario from the recorded .ltrc files, and hard-gate
+    // byte-identity of the scenario JSON. The wall bar mirrors cells 5/6
+    // (fail only past 50% AND a 100 ms absolute excess): replay skips the
+    // arrival/frame RNG work but pays file I/O, so the cell documents the
+    // trade rather than policing noise.
+    const auto trace_dir =
+        (std::filesystem::temp_directory_path() / "bench_overhead_traces").string();
+    std::filesystem::remove_all(trace_dir);
+    auto rec_cfg = perf_harness_config(/*summary_only=*/true);
+    rec_cfg.trace_dir = trace_dir;
+    auto rep_cfg = perf_harness_config(/*summary_only=*/true);
+    rep_cfg.replay_dir = trace_dir;
+    const harness::ExperimentHarness rec_h(rec_cfg);
+    const harness::ExperimentHarness rep_h(rep_cfg);
+    bool replay_identical = false;
+    std::uint64_t replay_requests = 0;
+    {
+        // Correctness pass (doubles as warm-up for the timed pairs).
+        const auto r_gen = rec_h.run(sc);
+        const auto r_rep = rep_h.run(sc);
+        replay_identical =
+            harness::scenario_json(sc, r_gen) == harness::scenario_json(sc, r_rep);
+        for (const auto& r : r_rep) {
+            if (r.serving_trace) replay_requests += r.serving_trace->size();
+        }
+    }
+    if (!replay_identical) {
+        std::printf("FAIL: scenario JSON differs between recorded and replayed runs\n");
+        ok = false;
+    }
+    if (replay_requests == 0) {
+        std::printf("FAIL: replayed run served zero requests\n");
+        ok = false;
+    }
+    double gen_s = 0.0;
+    double rep_s = 0.0;
+    for (int rep = 0; rep < fleet_pairs; ++rep) {
+        const double g = wall_of_run(sc, tel_h_off); // analytic arrivals, no capture
+        const double r = wall_of_run(sc, rep_h);
+        gen_s = rep == 0 ? g : std::min(gen_s, g);
+        rep_s = rep == 0 ? r : std::min(rep_s, r);
+    }
+    const double replay_overhead_pct = (rep_s - gen_s) / std::max(gen_s, 1e-9) * 100.0;
+    if (replay_overhead_pct > 50.0 && (rep_s - gen_s) > 0.1) {
+        std::printf("FAIL: trace replay costs %.2f%% over analytic generation "
+                    "(>= 50%%)\n",
+                    replay_overhead_pct);
+        ok = false;
+    }
+    std::printf("trace replay on serve_saturation: %.3fs generated, %.3fs replayed "
+                "(%.2f%% overhead, %llu requests, JSON %s)\n\n",
+                gen_s, rep_s, replay_overhead_pct,
+                static_cast<unsigned long long>(replay_requests),
+                replay_identical ? "byte-identical" : "DIFFERS");
+    std::filesystem::remove_all(trace_dir);
+
     // --- BENCH_overhead.json -------------------------------------------------
     std::ostringstream js;
     js << "{\n"
@@ -741,6 +801,14 @@ bool perf_trajectory() {
        << "      \"rollups_on_wall_s\": " << json_num(roll_on_s) << ",\n"
        << "      \"overhead_pct\": " << json_num(roll_overhead_pct) << ",\n"
        << "      \"json_bit_identical\": " << (roll_identical ? "true" : "false") << "\n"
+       << "    },\n"
+       << "    \"trace_replay\": {\n"
+       << "      \"scenario\": \"serve_saturation\",\n"
+       << "      \"generated_wall_s\": " << json_num(gen_s) << ",\n"
+       << "      \"replayed_wall_s\": " << json_num(rep_s) << ",\n"
+       << "      \"overhead_pct\": " << json_num(replay_overhead_pct) << ",\n"
+       << "      \"requests\": " << replay_requests << ",\n"
+       << "      \"json_bit_identical\": " << (replay_identical ? "true" : "false") << "\n"
        << "    }\n"
        << "  }\n"
        << "}\n";

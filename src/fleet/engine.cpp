@@ -13,6 +13,7 @@
 #include "serving/queue.hpp"
 #include "serving/scheduler.hpp"
 #include "telemetry/recorder.hpp"
+#include "trace/record.hpp"
 #include "util/rng.hpp"
 #include "workload/dataset.hpp"
 
@@ -152,6 +153,9 @@ FleetEngine::FleetEngine(FleetConfig config) : config_(std::move(config)) {
 }
 
 std::vector<serving::Request> FleetEngine::build_requests() const {
+    if (!config_.replay_trace.empty()) {
+        return trace::load_requests(config_.replay_trace, config_.streams);
+    }
     return serving::build_request_timeline(config_.streams, config_.seed);
 }
 

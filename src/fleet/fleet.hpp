@@ -81,6 +81,10 @@ struct FleetConfig {
     /// fast path (bit-identical summaries, no per-row storage) when no CSV
     /// dump or chart column extraction is needed.
     bool capture_rows = true;
+    /// Path of a recorded .ltrc trace to replay instead of generating the
+    /// timeline from the streams' arrival processes (see
+    /// serving::ServingConfig::replay_trace). Empty generates analytically.
+    std::string replay_trace;
 };
 
 /// Convenience builder for a pool slot.

@@ -6,10 +6,20 @@
 #include <thread>
 
 #include "fleet/engine.hpp"
+#include "harness/sinks.hpp"
 #include "serving/engine.hpp"
+#include "trace/record.hpp"
 #include "util/rng.hpp"
 
 namespace lotus::harness {
+
+std::string episode_trace_path(const std::string& dir, const std::string& scenario_name,
+                               std::size_t arm_index, const std::string& arm_name) {
+    auto idx = std::to_string(arm_index);
+    if (idx.size() < 2) idx.insert(0, 2 - idx.size(), '0');
+    return dir + "/" + artifact_name(scenario_name) + "/" + idx + "_" +
+           artifact_name(arm_name) + ".ltrc";
+}
 
 ExperimentHarness::ExperimentHarness(HarnessConfig config) : config_(config) {
     if (config_.jobs == 0) {
@@ -41,10 +51,27 @@ EpisodeResult ExperimentHarness::run_episode(const Scenario& scenario,
     }
     telemetry::BindScope bind(recorder.get());
 
+    // Trace capture/replay applies to episodes with a request timeline
+    // (serving/fleet). The capture scope is thread-local, so concurrent
+    // episodes on other workers record to their own paths.
+    const bool has_timeline = scenario.fleet.has_value() || scenario.serving.has_value();
+    std::string capture_to;
+    if (has_timeline && !config_.trace_dir.empty()) {
+        capture_to =
+            episode_trace_path(config_.trace_dir, scenario.name, arm_index, arm.name);
+    }
+    trace::CaptureScope capture(capture_to);
+    std::string replay_from;
+    if (has_timeline && !config_.replay_dir.empty()) {
+        replay_from =
+            episode_trace_path(config_.replay_dir, scenario.name, arm_index, arm.name);
+    }
+
     if (scenario.fleet) {
         auto fleet_cfg = *scenario.fleet;
         if (arm.fleet_tweak) arm.fleet_tweak(fleet_cfg);
         fleet_cfg.seed = cfg.seed;
+        if (!replay_from.empty()) fleet_cfg.replay_trace = replay_from;
         if (config_.summary_only) fleet_cfg.capture_rows = false;
         // The factory is invoked once per device by the engine, with
         // device-id-namespaced seeds derived from this root (the draw that
@@ -77,6 +104,7 @@ EpisodeResult ExperimentHarness::run_episode(const Scenario& scenario,
         auto serving_cfg = *scenario.serving;
         if (arm.serving_tweak) arm.serving_tweak(serving_cfg);
         serving_cfg.seed = cfg.seed;
+        if (!replay_from.empty()) serving_cfg.replay_trace = replay_from;
         if (config_.summary_only) serving_cfg.capture_rows = false;
         // Non-learning governors need no warm-up (same rule as below).
         if (governor->decision_overhead_s() == 0.0) serving_cfg.pretrain_iterations = 0;

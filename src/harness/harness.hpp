@@ -49,7 +49,27 @@ struct HarnessConfig {
     /// Tuning for per-episode recorders (sample cadence, ring capacity);
     /// only consulted when `telemetry` is on.
     telemetry::RecorderOptions telemetry_options = {};
+    /// Record every serving/fleet episode's request timeline as a compact
+    /// binary trace at <trace_dir>/<scenario>/<NN>_<arm>.ltrc (NN = arm
+    /// index; names sanitized like every other artifact). Empty disables
+    /// capture. Classic experiment episodes have no request timeline and
+    /// are skipped.
+    std::string trace_dir;
+    /// Replay serving/fleet episodes from traces previously recorded under
+    /// the same layout (episode paths must exist; a missing or mismatched
+    /// trace fails the run). Seeds still derive identically, so governor
+    /// behaviour -- and therefore every output -- is byte-identical to the
+    /// generating run.
+    std::string replay_dir;
 };
+
+/// The on-disk location of one episode's recorded trace under `dir` --
+/// shared by capture, replay and the CLIs so a directory recorded by one
+/// run is a drop-in replay source for another.
+[[nodiscard]] std::string episode_trace_path(const std::string& dir,
+                                             const std::string& scenario_name,
+                                             std::size_t arm_index,
+                                             const std::string& arm_name);
 
 /// Outcome of one (scenario, arm) episode.
 struct EpisodeResult {

@@ -15,9 +15,7 @@
 
 namespace lotus::harness {
 
-namespace {
-
-std::string sanitize(std::string s) {
+std::string artifact_name(std::string s) {
     for (auto& c : s) {
         if (!(std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '-' || c == '_')) {
             c = '_';
@@ -25,6 +23,10 @@ std::string sanitize(std::string s) {
     }
     return s;
 }
+
+namespace {
+
+std::string sanitize(std::string s) { return artifact_name(std::move(s)); }
 
 /// Largest latency constraint across an episode's schedule segments (the
 /// reference line drawn in multi-domain figures).

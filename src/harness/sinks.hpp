@@ -47,6 +47,12 @@ void print_fleet_table(const std::string& heading,
 /// per episode. Serving episodes chart end-to-end latency per request.
 void print_figure(const std::string& title, const std::vector<EpisodeResult>& results);
 
+/// The filesystem-safe form of a scenario/arm name used by every artifact
+/// writer (CSV traces, telemetry directories, recorded .ltrc traces):
+/// alphanumerics, '-' and '_' pass through, everything else becomes '_'.
+/// Mirrored by tools/check_trace_json.py.
+[[nodiscard]] std::string artifact_name(std::string s);
+
 /// Write one CSV per episode -- <dir>/<stem>_<arm>.csv (collision-proofed
 /// when two arms sanitize to the same file name) -- plus a
 /// <dir>/<stem>_summary.csv with one row per episode. All fields pass

@@ -1,9 +1,8 @@
 #include "serving/arrivals.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
-
-#include "util/rng.hpp"
 
 namespace lotus::serving {
 
@@ -17,82 +16,19 @@ double exp_gap(util::Rng& rng, double rate_hz) {
     return -std::log(1.0 - rng.uniform()) / rate_hz;
 }
 
-std::vector<double> periodic(const ArrivalSpec& spec, std::size_t count) {
-    std::vector<double> out;
-    out.reserve(count);
-    for (std::size_t k = 0; k < count; ++k) {
-        out.push_back(spec.phase_s + static_cast<double>(k) / spec.rate_hz);
+void validate(const ArrivalSpec& spec) {
+    if (spec.rate_hz <= 0.0) {
+        throw std::invalid_argument("generate_arrivals: rate_hz must be > 0");
     }
-    return out;
-}
-
-std::vector<double> poisson(const ArrivalSpec& spec, std::size_t count, util::Rng& rng) {
-    std::vector<double> out;
-    out.reserve(count);
-    double t = spec.phase_s;
-    for (std::size_t k = 0; k < count; ++k) {
-        t += exp_gap(rng, spec.rate_hz);
-        out.push_back(t);
+    if (spec.burst == 0) {
+        throw std::invalid_argument("generate_arrivals: burst must be >= 1");
     }
-    return out;
-}
-
-/// Volleys of `burst` requests `burst_spread_s` apart; volley starts spaced
-/// so the mean rate stays rate_hz. +-25% jitter on the inter-volley gap
-/// keeps volleys from phase-locking across streams.
-std::vector<double> bursty(const ArrivalSpec& spec, std::size_t count, util::Rng& rng) {
-    std::vector<double> out;
-    out.reserve(count);
-    const double volley_period = static_cast<double>(spec.burst) / spec.rate_hz;
-    double volley_start = spec.phase_s;
-    while (out.size() < count) {
-        for (std::size_t j = 0; j < spec.burst && out.size() < count; ++j) {
-            out.push_back(volley_start + static_cast<double>(j) * spec.burst_spread_s);
-        }
-        volley_start += volley_period * rng.uniform(0.75, 1.25);
+    if (spec.burst_spread_s < 0.0 || spec.phase_s < 0.0) {
+        throw std::invalid_argument("generate_arrivals: negative spacing/phase");
     }
-    return out;
-}
-
-/// Non-homogeneous Poisson with a raised-cosine rate profile over the run:
-/// trough -> peak -> trough, scaled so the mean rate over the cycle is
-/// rate_hz. The cycle length is the expected span of `count` requests.
-std::vector<double> diurnal(const ArrivalSpec& spec, std::size_t count, util::Rng& rng) {
-    std::vector<double> out;
-    out.reserve(count);
-    const double span = static_cast<double>(count) / spec.rate_hz;
-    const double floor = spec.diurnal_floor;
-    // profile(t) in [floor, 2 - floor]; mean over the cycle is 1.
-    const auto profile = [&](double t) {
-        const double s = 0.5 * (1.0 - std::cos(2.0 * kPi * t / span));
-        return floor + 2.0 * (1.0 - floor) * s;
-    };
-    double t = spec.phase_s;
-    for (std::size_t k = 0; k < count; ++k) {
-        const double inst_rate = spec.rate_hz * profile(t - spec.phase_s);
-        t += exp_gap(rng, inst_rate);
-        out.push_back(t);
+    if (!(spec.diurnal_floor > 0.0) || spec.diurnal_floor > 1.0) {
+        throw std::invalid_argument("generate_arrivals: diurnal_floor must be in (0, 1]");
     }
-    return out;
-}
-
-/// Adversarial duty cycle: a quiet phase long enough for the device to shed
-/// heat and the queue to drain, then a dense volley at 4x the volley
-/// tightness of `bursty`. Quiet length jitters +-30% so the pattern cannot
-/// be learned as a fixed period.
-std::vector<double> attack(const ArrivalSpec& spec, std::size_t count, util::Rng& rng) {
-    std::vector<double> out;
-    out.reserve(count);
-    const double cycle = static_cast<double>(spec.burst) / spec.rate_hz;
-    const double spread = spec.burst_spread_s * 0.25;
-    double volley_start = spec.phase_s + cycle * rng.uniform(0.7, 1.3);
-    while (out.size() < count) {
-        for (std::size_t j = 0; j < spec.burst && out.size() < count; ++j) {
-            out.push_back(volley_start + static_cast<double>(j) * spread);
-        }
-        volley_start += cycle * rng.uniform(0.7, 1.3);
-    }
-    return out;
 }
 
 } // namespace
@@ -118,31 +54,104 @@ ArrivalKind arrival_kind_from(const std::string& name) {
                                 "' (periodic|poisson|burst|diurnal|attack)");
 }
 
+ArrivalGenerator::ArrivalGenerator(const ArrivalSpec& spec, std::size_t count,
+                                   std::uint64_t seed)
+    : spec_(spec), count_(count), rng_(seed) {
+    validate(spec_);
+    switch (spec_.kind) {
+        case ArrivalKind::periodic:
+            break;
+        case ArrivalKind::poisson:
+            t_ = spec_.phase_s;
+            break;
+        case ArrivalKind::bursty:
+            // Volleys of `burst` requests `burst_spread_s` apart; volley
+            // starts spaced so the mean rate stays rate_hz. +-25% jitter on
+            // the inter-volley gap keeps volleys from phase-locking across
+            // streams.
+            volley_start_ = spec_.phase_s;
+            spread_ = spec_.burst_spread_s;
+            jitter_lo_ = 0.75;
+            jitter_hi_ = 1.25;
+            break;
+        case ArrivalKind::diurnal:
+            t_ = spec_.phase_s;
+            span_ = static_cast<double>(count_) / spec_.rate_hz;
+            break;
+        case ArrivalKind::attack:
+            // Adversarial duty cycle: a quiet phase long enough for the
+            // device to shed heat and the queue to drain, then a dense
+            // volley at 4x the volley tightness of `bursty`. Quiet length
+            // jitters +-30% so the pattern cannot be learned as a fixed
+            // period.
+            spread_ = spec_.burst_spread_s * 0.25;
+            jitter_lo_ = 0.7;
+            jitter_hi_ = 1.3;
+            volley_start_ = spec_.phase_s + static_cast<double>(spec_.burst) /
+                                                spec_.rate_hz * rng_.uniform(0.7, 1.3);
+            break;
+    }
+}
+
+double ArrivalGenerator::next() {
+    if (done()) {
+        throw std::logic_error("ArrivalGenerator: next() past the last arrival");
+    }
+    double raw = 0.0;
+    switch (spec_.kind) {
+        case ArrivalKind::periodic:
+            raw = spec_.phase_s + static_cast<double>(emitted_) / spec_.rate_hz;
+            break;
+        case ArrivalKind::poisson:
+            t_ += exp_gap(rng_, spec_.rate_hz);
+            raw = t_;
+            break;
+        case ArrivalKind::bursty:
+        case ArrivalKind::attack: {
+            const double cycle = static_cast<double>(spec_.burst) / spec_.rate_hz;
+            if (volley_j_ == spec_.burst) {
+                volley_start_ += cycle * rng_.uniform(jitter_lo_, jitter_hi_);
+                volley_j_ = 0;
+            }
+            raw = volley_start_ + static_cast<double>(volley_j_) * spread_;
+            ++volley_j_;
+            break;
+        }
+        case ArrivalKind::diurnal: {
+            // Non-homogeneous Poisson with a raised-cosine rate profile
+            // over the run: trough -> peak -> trough, scaled so the mean
+            // rate over the cycle is rate_hz. The cycle length is the
+            // expected span of `count` requests; profile(t) lies in
+            // [floor, 2 - floor], so the instantaneous rate never hits 0
+            // and every gap stays finite even when the cycle is shorter
+            // than one inter-arrival time.
+            const double floor = spec_.diurnal_floor;
+            const double s =
+                0.5 * (1.0 - std::cos(2.0 * kPi * (t_ - spec_.phase_s) / span_));
+            const double inst_rate = spec_.rate_hz * (floor + 2.0 * (1.0 - floor) * s);
+            t_ += exp_gap(rng_, inst_rate);
+            raw = t_;
+            break;
+        }
+    }
+    ++emitted_;
+    // Volley processes can overlap adjacent volleys when the volley period
+    // shrinks below the intra-volley span (rate >> 1/spread); clamping
+    // keeps the contract that arrivals never step backwards. A no-op for
+    // the inherently ascending processes.
+    const double out = have_last_ ? std::max(raw, last_) : raw;
+    last_ = out;
+    have_last_ = true;
+    return out;
+}
+
 std::vector<double> generate_arrivals(const ArrivalSpec& spec, std::size_t count,
                                       std::uint64_t seed) {
-    if (spec.rate_hz <= 0.0) {
-        throw std::invalid_argument("generate_arrivals: rate_hz must be > 0");
-    }
-    if (spec.burst == 0) {
-        throw std::invalid_argument("generate_arrivals: burst must be >= 1");
-    }
-    if (spec.burst_spread_s < 0.0 || spec.phase_s < 0.0) {
-        throw std::invalid_argument("generate_arrivals: negative spacing/phase");
-    }
-    if (!(spec.diurnal_floor > 0.0) || spec.diurnal_floor > 1.0) {
-        throw std::invalid_argument("generate_arrivals: diurnal_floor must be in (0, 1]");
-    }
-    if (count == 0) return {};
-
-    util::Rng rng(seed);
-    switch (spec.kind) {
-        case ArrivalKind::periodic: return periodic(spec, count);
-        case ArrivalKind::poisson: return poisson(spec, count, rng);
-        case ArrivalKind::bursty: return bursty(spec, count, rng);
-        case ArrivalKind::diurnal: return diurnal(spec, count, rng);
-        case ArrivalKind::attack: return attack(spec, count, rng);
-    }
-    throw std::invalid_argument("generate_arrivals: unhandled arrival kind");
+    ArrivalGenerator gen(spec, count, seed);
+    std::vector<double> out;
+    out.reserve(count);
+    while (!gen.done()) out.push_back(gen.next());
+    return out;
 }
 
 } // namespace lotus::serving

@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "util/rng.hpp"
+
 namespace lotus::serving {
 
 enum class ArrivalKind { periodic, poisson, bursty, diurnal, attack };
@@ -48,9 +50,49 @@ struct ArrivalSpec {
     double diurnal_floor = 0.2;
 };
 
+/// Streaming arrival-time generator: emits the same sequence
+/// generate_arrivals materialises, one value per next() call, in O(1)
+/// memory -- the primitive behind trace synthesis of million-request
+/// timelines. Arrivals are clamped non-decreasing (volley processes can
+/// mathematically overlap adjacent volleys at extreme rates) and every
+/// value is finite. Deterministic in (spec, count, seed).
+class ArrivalGenerator {
+public:
+    /// Validates the spec; throws std::invalid_argument for non-positive
+    /// rates, zero burst sizes, negative spacing/phase or an out-of-range
+    /// diurnal floor. count == 0 constructs an exhausted generator.
+    ArrivalGenerator(const ArrivalSpec& spec, std::size_t count, std::uint64_t seed);
+
+    [[nodiscard]] std::size_t count() const noexcept { return count_; }
+    [[nodiscard]] std::size_t emitted() const noexcept { return emitted_; }
+    [[nodiscard]] bool done() const noexcept { return emitted_ >= count_; }
+
+    /// The next arrival time; throws std::logic_error when exhausted.
+    double next();
+
+private:
+    ArrivalSpec spec_;
+    std::size_t count_;
+    util::Rng rng_;
+    std::size_t emitted_ = 0;
+    /// Running clock (poisson/diurnal).
+    double t_ = 0.0;
+    /// Volley state (bursty/attack).
+    double volley_start_ = 0.0;
+    std::size_t volley_j_ = 0;
+    double spread_ = 0.0;
+    double jitter_lo_ = 0.0;
+    double jitter_hi_ = 0.0;
+    /// Cycle length of the diurnal rate profile (the expected span).
+    double span_ = 0.0;
+    /// Monotonicity clamp.
+    double last_ = 0.0;
+    bool have_last_ = false;
+};
+
 /// Generate `count` ascending arrival times. Deterministic in (spec, count,
 /// seed). Throws std::invalid_argument for non-positive rates or zero burst
-/// sizes.
+/// sizes. Equivalent to draining an ArrivalGenerator.
 [[nodiscard]] std::vector<double> generate_arrivals(const ArrivalSpec& spec,
                                                     std::size_t count, std::uint64_t seed);
 

@@ -7,6 +7,7 @@
 #include "runtime/engine.hpp"
 #include "serving/scheduler.hpp"
 #include "telemetry/recorder.hpp"
+#include "trace/record.hpp"
 #include "util/rng.hpp"
 
 namespace lotus::serving {
@@ -48,6 +49,16 @@ ServingEngine::ServingEngine(ServingConfig config) : config_(std::move(config)) 
     (void)make_scheduler(config_.scheduler); // throws on unknown policy
 }
 
+std::uint64_t arrival_stream_seed(std::uint64_t seed, const std::string& instance,
+                                  const std::string& stream_name, std::size_t index) {
+    return util::derive_seed(seed, seed_id(instance, "arrivals/" + stream_name), index);
+}
+
+std::uint64_t frame_stream_seed(std::uint64_t seed, const std::string& instance,
+                                const std::string& stream_name, std::size_t index) {
+    return util::derive_seed(seed, seed_id(instance, "frames/" + stream_name), index);
+}
+
 std::vector<Request> build_request_timeline(const std::vector<StreamSpec>& streams,
                                             std::uint64_t seed,
                                             const std::string& instance) {
@@ -59,10 +70,10 @@ std::vector<Request> build_request_timeline(const std::vector<StreamSpec>& strea
         const auto& stream = streams[s];
         const auto arrivals = generate_arrivals(
             stream.arrival, stream.requests,
-            util::derive_seed(seed, seed_id(instance, "arrivals/" + stream.name), s));
+            arrival_stream_seed(seed, instance, stream.name, s));
         workload::FrameStream frames(
             workload::dataset_by_name(stream.dataset),
-            util::derive_seed(seed, seed_id(instance, "frames/" + stream.name), s));
+            frame_stream_seed(seed, instance, stream.name, s));
         for (std::size_t k = 0; k < stream.requests; ++k) {
             Request r;
             r.stream = s;
@@ -80,10 +91,14 @@ std::vector<Request> build_request_timeline(const std::vector<StreamSpec>& strea
         return a.frame.index < b.frame.index;
     });
     for (std::size_t i = 0; i < all.size(); ++i) all[i].id = i;
+    trace::maybe_record(streams, all);
     return all;
 }
 
 std::vector<Request> ServingEngine::build_requests() const {
+    if (!config_.replay_trace.empty()) {
+        return trace::load_requests(config_.replay_trace, config_.streams);
+    }
     return build_request_timeline(config_.streams, config_.seed, config_.instance);
 }
 

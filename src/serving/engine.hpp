@@ -37,6 +37,19 @@ namespace lotus::serving {
     const std::vector<StreamSpec>& streams, std::uint64_t seed,
     const std::string& instance = "");
 
+/// The derive_seed inputs build_request_timeline uses for stream `index`'s
+/// arrival process / frame stream. Exported so trace synthesis
+/// (trace::synth_trace) can reproduce a timeline stream-by-stream without
+/// materialising it.
+[[nodiscard]] std::uint64_t arrival_stream_seed(std::uint64_t seed,
+                                                const std::string& instance,
+                                                const std::string& stream_name,
+                                                std::size_t index);
+[[nodiscard]] std::uint64_t frame_stream_seed(std::uint64_t seed,
+                                              const std::string& instance,
+                                              const std::string& stream_name,
+                                              std::size_t index);
+
 class ServingEngine {
 public:
     /// Validates the config (throws std::invalid_argument on empty streams,

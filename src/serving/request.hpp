@@ -85,6 +85,12 @@ struct ServingConfig {
     /// fast path (bit-identical summaries, no per-row storage) when no CSV
     /// dump or chart column extraction is needed.
     bool capture_rows = true;
+    /// Path of a recorded .ltrc trace to replay instead of generating the
+    /// timeline from the streams' arrival processes. The trace's stream
+    /// table must match `streams` (name, dataset, SLO, request count);
+    /// everything downstream of the timeline is then byte-identical to the
+    /// generating run. Empty (default) generates analytically.
+    std::string replay_trace;
 };
 
 } // namespace lotus::serving

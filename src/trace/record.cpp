@@ -1,0 +1,221 @@
+#include "trace/record.hpp"
+
+#include <filesystem>
+#include <stdexcept>
+
+#include "serving/engine.hpp"
+#include "workload/dataset.hpp"
+
+namespace lotus::trace {
+
+namespace {
+
+thread_local const std::string* g_capture_path = nullptr;
+
+void create_parent_dirs(const std::string& path) {
+    const auto parent = std::filesystem::path(path).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent);
+}
+
+[[noreturn]] void replay_mismatch(const std::string& path, const std::string& what) {
+    throw std::runtime_error("trace '" + path + "': recorded stream table does not " +
+                             "match the configured streams (" + what +
+                             "); a trace replays only against the stream set that "
+                             "recorded it");
+}
+
+} // namespace
+
+CaptureScope::CaptureScope(std::string path) : path_(std::move(path)) {
+    if (!path_.empty()) {
+        prev_ = g_capture_path;
+        g_capture_path = &path_;
+        bound_ = true;
+    }
+}
+
+CaptureScope::~CaptureScope() {
+    if (bound_) g_capture_path = prev_;
+}
+
+const std::string* capture_path() noexcept { return g_capture_path; }
+
+std::vector<StreamInfo> stream_table(const std::vector<serving::StreamSpec>& streams) {
+    std::vector<StreamInfo> table;
+    table.reserve(streams.size());
+    for (const auto& s : streams) {
+        table.push_back(StreamInfo{s.name, s.dataset, s.slo_s, s.requests});
+    }
+    return table;
+}
+
+TraceRecord to_record(const serving::Request& req) {
+    TraceRecord rec;
+    rec.id = req.id;
+    rec.stream = static_cast<std::uint32_t>(req.stream);
+    rec.proposals = req.frame.proposals;
+    rec.arrival_s = req.arrival_s;
+    rec.slo_s = req.slo_s;
+    rec.resolution_scale = req.frame.resolution_scale;
+    rec.complexity = req.frame.complexity;
+    rec.jitter = req.frame.jitter;
+    rec.frame_index = req.frame.index;
+    return rec;
+}
+
+serving::Request to_request(const TraceRecord& rec) {
+    serving::Request req;
+    req.id = rec.id;
+    req.stream = rec.stream;
+    req.arrival_s = rec.arrival_s;
+    req.slo_s = rec.slo_s;
+    req.frame.index = rec.frame_index;
+    req.frame.resolution_scale = rec.resolution_scale;
+    req.frame.complexity = rec.complexity;
+    req.frame.proposals = rec.proposals;
+    req.frame.jitter = rec.jitter;
+    return req;
+}
+
+void write_trace(const std::string& path, const std::vector<serving::StreamSpec>& streams,
+                 const std::vector<serving::Request>& requests) {
+    create_parent_dirs(path);
+    Writer out(path, stream_table(streams));
+    for (const auto& req : requests) out.add(to_record(req));
+    out.close();
+}
+
+void maybe_record(const std::vector<serving::StreamSpec>& streams,
+                  const std::vector<serving::Request>& requests) {
+    const auto* path = capture_path();
+    if (path == nullptr) return;
+    write_trace(*path, streams, requests);
+}
+
+TraceArrivalSource::TraceArrivalSource(std::string path) : path_(std::move(path)) {
+    Reader reader(path_);
+    info_ = reader.info();
+}
+
+std::vector<serving::Request> TraceArrivalSource::requests(
+    const std::vector<serving::StreamSpec>& streams) const {
+    if (!same_streams(info_.streams, stream_table(streams))) {
+        if (info_.streams.size() != streams.size()) {
+            replay_mismatch(path_, "trace has " + std::to_string(info_.streams.size()) +
+                                       " streams, config has " +
+                                       std::to_string(streams.size()));
+        }
+        for (std::size_t i = 0; i < streams.size(); ++i) {
+            const auto& rec = info_.streams[i];
+            const auto& cfg = streams[i];
+            if (rec.name != cfg.name || rec.dataset != cfg.dataset ||
+                rec.slo_s != cfg.slo_s || rec.requests != cfg.requests) {
+                replay_mismatch(path_, "stream " + std::to_string(i) + ": trace has '" +
+                                           rec.name + "'/" + rec.dataset +
+                                           ", config has '" + cfg.name + "'/" +
+                                           cfg.dataset);
+            }
+        }
+        replay_mismatch(path_, "SLO bit pattern differs");
+    }
+    Reader reader(path_);
+    std::vector<serving::Request> out;
+    out.reserve(info_.record_count);
+    TraceRecord rec;
+    while (reader.next(rec)) out.push_back(to_request(rec));
+    return out;
+}
+
+std::vector<serving::StreamSpec> TraceArrivalSource::stream_specs() const {
+    std::vector<serving::StreamSpec> specs;
+    specs.reserve(info_.streams.size());
+    for (const auto& s : info_.streams) {
+        serving::StreamSpec spec;
+        spec.name = s.name;
+        spec.dataset = s.dataset;
+        spec.slo_s = s.slo_s;
+        spec.requests = s.requests;
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
+std::vector<serving::Request> load_requests(
+    const std::string& path, const std::vector<serving::StreamSpec>& streams) {
+    const TraceArrivalSource source(path);
+    auto requests = source.requests(streams);
+    // Replay under a CaptureScope re-records the input: record(replay(t)) == t.
+    maybe_record(streams, requests);
+    return requests;
+}
+
+void synth_trace(const std::string& path, const std::vector<serving::StreamSpec>& streams,
+                 std::uint64_t seed) {
+    if (streams.empty()) {
+        throw std::invalid_argument("synth_trace: no streams configured");
+    }
+    // One lazily-advanced (arrival generator, frame stream) pair per
+    // stream; the k-way merge below reproduces build_request_timeline's
+    // (arrival_s, stream, frame.index) sort order without ever holding
+    // more than one pending request per stream.
+    struct Head {
+        serving::ArrivalGenerator arrivals;
+        workload::FrameStream frames;
+        double arrival_s = 0.0;
+        workload::FrameSample frame;
+        bool live = false;
+    };
+    std::vector<Head> heads;
+    heads.reserve(streams.size());
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+        const auto& stream = streams[s];
+        heads.push_back(Head{
+            serving::ArrivalGenerator(stream.arrival, stream.requests,
+                                      serving::arrival_stream_seed(seed, "", stream.name, s)),
+            workload::FrameStream(workload::dataset_by_name(stream.dataset),
+                                  serving::frame_stream_seed(seed, "", stream.name, s)),
+            0.0, workload::FrameSample{}, false});
+        auto& head = heads.back();
+        if (!head.arrivals.done()) {
+            head.arrival_s = head.arrivals.next();
+            head.frame = head.frames.next();
+            head.live = true;
+        }
+    }
+
+    create_parent_dirs(path);
+    Writer out(path, stream_table(streams));
+    std::uint64_t next_id = 0;
+    for (;;) {
+        std::size_t best = heads.size();
+        for (std::size_t i = 0; i < heads.size(); ++i) {
+            if (!heads[i].live) continue;
+            if (best == heads.size() || heads[i].arrival_s < heads[best].arrival_s ||
+                (heads[i].arrival_s == heads[best].arrival_s && i < best)) {
+                best = i;
+            }
+        }
+        if (best == heads.size()) break;
+        auto& head = heads[best];
+        TraceRecord rec;
+        rec.id = next_id++;
+        rec.stream = static_cast<std::uint32_t>(best);
+        rec.proposals = head.frame.proposals;
+        rec.arrival_s = head.arrival_s;
+        rec.slo_s = streams[best].slo_s;
+        rec.resolution_scale = head.frame.resolution_scale;
+        rec.complexity = head.frame.complexity;
+        rec.jitter = head.frame.jitter;
+        rec.frame_index = head.frame.index;
+        out.add(rec);
+        if (!head.arrivals.done()) {
+            head.arrival_s = head.arrivals.next();
+            head.frame = head.frames.next();
+        } else {
+            head.live = false;
+        }
+    }
+    out.close();
+}
+
+} // namespace lotus::trace

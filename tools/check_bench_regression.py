@@ -136,6 +136,7 @@ def main():
         ("summary_only_ledgers", "json_bit_identical"),
         ("telemetry_overhead", "json_bit_identical"),
         ("rollup_overhead", "json_bit_identical"),
+        ("trace_replay", "json_bit_identical"),
     ]
     for cell, flag in flags:
         if cur.get("cells", {}).get(cell, {}).get(flag) is not True:

@@ -345,6 +345,116 @@ def check_rollup(path, errors):
     return f"{n_windows} windows, {totals['requests']} requests"
 
 
+# --- sweep.json --------------------------------------------------------------
+
+
+def check_sweep(path, errors):
+    """lotus_sweep JSON Lines output: one meta line, then one cell per line.
+
+    Checks the cell-count identity (meta declares the full cartesian size,
+    and the axis lengths multiply out to it), strictly increasing cell
+    ordering, and per-cell summary reconciliation (requests == served +
+    shed, rates in [0, 1], monotone latency quantiles, CSV-row agreement
+    when a sibling sweep.csv exists).
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = [json.loads(line) for line in fh if line.strip()]
+    except (OSError, ValueError) as exc:
+        print(f"check_trace_json: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    if not lines:
+        fail(path, "empty sweep file", errors)
+        return "invalid"
+
+    meta = None
+    cells = lines
+    if "cells" in lines[0] and "cell" not in lines[0]:
+        meta, cells = lines[0], lines[1:]
+        check_build_stamp(path, meta, errors)
+        axes = meta.get("axes")
+        if not isinstance(axes, dict) or not axes:
+            fail(path, "meta line lacks axes", errors)
+        else:
+            product = 1
+            for axis, values in axes.items():
+                if not isinstance(values, list) or not values:
+                    fail(path, f"axis {axis!r} is empty", errors)
+                    product = None
+                    break
+                product *= len(values)
+            if product is not None and product != meta.get("cells"):
+                fail(path, f"axes multiply to {product} cells but meta declares "
+                           f"{meta.get('cells')}", errors)
+        declared = meta.get("cells")
+        if isinstance(declared, int) and len(cells) > declared:
+            fail(path, f"{len(cells)} cell lines exceed declared {declared}", errors)
+
+    last = None
+    for i, cell in enumerate(cells):
+        where = f"cell line {i}"
+        idx = cell.get("cell")
+        if not isinstance(idx, int) or idx < 0:
+            fail(path, f"{where}: cell index is {idx!r}", errors)
+            continue
+        if last is not None and idx <= last:
+            fail(path, f"{where}: cell {idx} does not increase past {last}", errors)
+        last = idx
+        for key in ("name", "router", "scheduler", "governor", "arrival",
+                    "episode_seed"):
+            if not isinstance(cell.get(key), str) or not cell[key]:
+                fail(path, f"{where}: missing {key}", errors)
+        summary = cell.get("summary")
+        if not isinstance(summary, dict):
+            fail(path, f"{where}: missing summary", errors)
+            continue
+        counts = {k: summary.get(k) for k in COUNT_KEYS}
+        if any(not isinstance(v, int) or v < 0 for v in counts.values()):
+            fail(path, f"{where}: non-integer counts {counts}", errors)
+            continue
+        if counts["requests"] != counts["served"] + counts["shed"]:
+            fail(path, f"{where}: requests {counts['requests']} != served "
+                       f"{counts['served']} + shed {counts['shed']}", errors)
+        for key in ("miss_rate", "shed_rate"):
+            v = summary.get(key)
+            if not (isinstance(v, (int, float)) and 0.0 <= v <= 1.0):
+                fail(path, f"{where}: {key} is {v!r}, want in [0, 1]", errors)
+        quantiles = [summary.get(k) for k in ("p50_ms", "p95_ms", "p99_ms")]
+        if all(isinstance(q, (int, float)) for q in quantiles):
+            if not quantiles[0] <= quantiles[1] <= quantiles[2]:
+                fail(path, f"{where}: latency quantiles not monotone: {quantiles}",
+                     errors)
+
+    # When the sibling CSV exists, both views of each cell must agree on
+    # identity and counts (same emitter, so drift means a bug).
+    csv_path = os.path.join(os.path.dirname(path), "sweep.csv")
+    if os.path.exists(csv_path) and meta is not None:
+        try:
+            with open(csv_path, "r", encoding="utf-8", newline="") as fh:
+                csv_rows = {int(row["cell"]): row for row in csv.DictReader(fh)}
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"check_trace_json: cannot read {csv_path}: {exc}", file=sys.stderr)
+            sys.exit(2)
+        if len(csv_rows) != len(cells):
+            fail(path, f"{len(cells)} JSON cells but {len(csv_rows)} CSV rows", errors)
+        for cell in cells:
+            row = csv_rows.get(cell.get("cell"))
+            if row is None:
+                fail(path, f"cell {cell.get('cell')} missing from sweep.csv", errors)
+                continue
+            if row.get("name") != cell.get("name"):
+                fail(path, f"cell {cell['cell']}: CSV name {row.get('name')!r} != "
+                           f"JSON {cell.get('name')!r}", errors)
+            summary = cell.get("summary", {})
+            for key in COUNT_KEYS:
+                if row.get(key) != str(summary.get(key)):
+                    fail(path, f"cell {cell['cell']}: CSV {key} {row.get(key)!r} != "
+                               f"JSON {summary.get(key)!r}", errors)
+
+    head = "meta + " if meta is not None else ""
+    return f"{head}{len(cells)} cells"
+
+
 # --- summary.csv reconciliation ----------------------------------------------
 
 
@@ -393,6 +503,7 @@ CHECKERS = {
     "trace.json": check_trace,
     "health.json": check_health,
     "rollup.json": check_rollup,
+    "sweep.json": check_sweep,
 }
 
 

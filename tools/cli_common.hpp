@@ -36,6 +36,24 @@ inline std::uint64_t parse_u64(const std::string& tool, const std::string& flag,
     return out;
 }
 
+/// `--seed <u64>` override state shared by every tool. Tracking whether
+/// the flag was given (not just its value) lets verbs whose output is
+/// fully determined by an input file -- lotus_trace info/cat/slice/merge
+/// -- reject a seed that could not possibly apply, instead of silently
+/// ignoring it.
+struct SeedFlag {
+    std::uint64_t value = 42;
+    bool set = false;
+};
+
+/// Strictly parse a --seed value into `seed`: non-negative integer only
+/// (no sign, no decimals, no trailing junk), at most once per invocation.
+inline void parse_seed(const std::string& tool, const std::string& raw, SeedFlag& seed) {
+    if (seed.set) usage_error(tool, "--seed given more than once");
+    seed.value = parse_u64(tool, "--seed", raw);
+    seed.set = true;
+}
+
 inline double parse_positive_double(const std::string& tool, const std::string& flag,
                                     const std::string& value) {
     char* end = nullptr;

@@ -28,6 +28,9 @@
 //       direction (e.g. missed up = regression, attainment up =
 //       improvement); request-count changes and missing episodes/rows are
 //       always regressions. Exit 0 when no regressions, 1 otherwise.
+//       Passing two regular files instead of directories diffs them as
+//       lotus_sweep sweep.json outputs, cell by cell, under the same
+//       direction rules -- the regress gate for parameter sweeps.
 //
 // Exit codes: 0 ok / no regressions, 1 regressions found, 2 usage or
 // malformed tree.
@@ -37,6 +40,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <limits>
 #include <map>
 #include <optional>
@@ -125,7 +129,11 @@ const std::map<std::string, int>& metric_directions() {
         {"throttle_s", +1},       {"peak_temp_c", +1},
         {"headroom_min_c", -1},   {"breaches", +1},
         {"load_skew", +1},        {"devices", 0},
-        {"windows", 0},
+        {"windows", 0},           {"p50_ms", +1},
+        {"p95_ms", +1},           {"p99_ms", +1},
+        {"mean_wait_ms", +1},     {"throughput_rps", -1},
+        {"energy_per_req_j", +1}, {"migrations", +1},
+        {"makespan_s", +1},       {"total_energy_j", +1},
     };
     return dirs;
 }
@@ -383,6 +391,61 @@ int cmd_diff(const std::vector<Episode>& a, const std::vector<Episode>& b,
     return stats.regressions == 0 ? 0 : 1;
 }
 
+// --- sweep diff --------------------------------------------------------------
+
+/// Parse a lotus_sweep JSON Lines file: cell name -> summary row. The meta
+/// line (no "cell" key) is skipped; malformed lines are usage errors.
+std::map<std::string, JsonValue> load_sweep(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) usage_error("cannot read '" + path + "'");
+    std::map<std::string, JsonValue> cells;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty()) continue;
+        JsonValue doc;
+        try {
+            doc = lotus::util::json_parse(line);
+        } catch (const std::exception& e) {
+            usage_error(path + ":" + std::to_string(lineno) + ": " + e.what());
+        }
+        if (doc.find("cell") == nullptr) continue; // meta line
+        cells[doc.at("name").as_string()] = doc.at("summary");
+    }
+    if (cells.empty()) usage_error("no sweep cells in '" + path + "'");
+    return cells;
+}
+
+/// Diff two sweep.json files cell by cell: the same per-metric direction
+/// rules as the telemetry-tree diff, with missing/extra cells counting as
+/// regressions. This is what regress-gates a sweep between two builds.
+int cmd_diff_sweep(const std::string& path_a, const std::string& path_b, double pct,
+                   double abs_eps) {
+    const auto a = load_sweep(path_a);
+    const auto b = load_sweep(path_b);
+    DiffStats stats;
+    for (const auto& [name, row] : a) {
+        const auto it = b.find(name);
+        if (it == b.end()) {
+            std::fprintf(stdout, "  REGRESSION   cell %s: missing in B\n", name.c_str());
+            ++stats.regressions;
+            continue;
+        }
+        diff_row(name, row, it->second, pct, abs_eps, stats);
+    }
+    for (const auto& [name, row] : b) {
+        (void)row;
+        if (a.find(name) == a.end()) {
+            std::fprintf(stdout, "  REGRESSION   cell %s: only in B\n", name.c_str());
+            ++stats.regressions;
+        }
+    }
+    std::fprintf(stdout, "diff: %zu regressions, %zu improvements\n", stats.regressions,
+                 stats.improvements);
+    return stats.regressions == 0 ? 0 : 1;
+}
+
 // --- argument parsing --------------------------------------------------------
 
 double parse_nonneg(const std::string& flag, const std::string& value) {
@@ -452,7 +515,15 @@ int main(int argc, char** argv) {
                                   stream_filter);
         }
         if (command == "diff") {
-            if (positional.size() != 2) usage_error("diff wants two trees");
+            if (positional.size() != 2) {
+                usage_error("diff wants two trees (or two sweep.json files)");
+            }
+            // Two regular files diff as lotus_sweep outputs; directories as
+            // telemetry trees.
+            if (fs::is_regular_file(positional[0]) &&
+                fs::is_regular_file(positional[1])) {
+                return cmd_diff_sweep(positional[0], positional[1], pct, abs_eps);
+            }
             return cmd_diff(load_tree(positional[0]), load_tree(positional[1]), pct,
                             abs_eps);
         }

@@ -71,7 +71,7 @@ struct Options {
     std::string governor = "lotus";
     std::size_t iterations = 0; // 0 -> device default
     std::size_t pretrain = 2500;
-    std::uint64_t seed = 42;
+    cli::SeedFlag seed;
     double constraint_ms = 0.0; // 0 -> preset
     std::string csv_path;
     std::string telemetry_dir;
@@ -117,7 +117,7 @@ Options parse(int argc, char** argv) {
         } else if (flag == "--pretrain") {
             opt.pretrain = static_cast<std::size_t>(u64(flag, need_value(i)));
         } else if (flag == "--seed") {
-            opt.seed = u64(flag, need_value(i));
+            cli::parse_seed(kTool, need_value(i), opt.seed);
         } else if (flag == "--constraint") {
             opt.constraint_ms = cli::parse_positive_double(kTool, flag, need_value(i));
         } else if (flag == "--format") {
@@ -203,7 +203,7 @@ int run_scenarios(const Options& opt) {
     cli::apply_profile_flag(render);
 
     const harness::ExperimentHarness harness(
-        cli::harness_config(render, opt.jobs, opt.seed));
+        cli::harness_config(render, opt.jobs, opt.seed.value));
     // Status goes to stderr so stdout is byte-identical at any --jobs count.
     std::fprintf(stderr, "lotus_run: %zu scenario(s), %zu jobs, seed %llu\n", batch.size(),
                  harness.config().jobs,
@@ -240,12 +240,12 @@ int run_single(const Options& opt) {
                  "L=%.0f ms)\n",
                  spec.name.c_str(), detector::to_string(kind), dataset.c_str(),
                  scenario.arms[0].name.c_str(), iterations,
-                 static_cast<unsigned long long>(opt.seed),
+                 static_cast<unsigned long long>(opt.seed.value),
                  scenario.config.schedule.at(0).latency_constraint_s * 1e3);
 
     if (opt.profile) prof::set_enabled(true);
     harness::HarnessConfig cfg{
-        .jobs = 1, .seed = opt.seed, .telemetry = !opt.telemetry_dir.empty()};
+        .jobs = 1, .seed = opt.seed.value, .telemetry = !opt.telemetry_dir.empty()};
     if (opt.telemetry_ring > 0) cfg.telemetry_options.ring_capacity = opt.telemetry_ring;
     const harness::ExperimentHarness harness(cfg);
     const auto results = harness.run(scenario);

@@ -61,6 +61,12 @@
 //   --telemetry-ring N  breaches.jsonl flight-recorder depth: last-N events
 //                     per process snapshotted into each breach report
 //                     (default 32; requires --telemetry, N >= 1)
+//   --record-trace DIR  dump every episode's request timeline as a compact
+//                     binary trace: DIR/<scenario>/<NN>_<arm>.ltrc
+//                     (inspect with lotus_trace info/cat)
+//   --replay-trace DIR  replay episodes from traces recorded under DIR
+//                     (same layout); outputs are byte-identical to the
+//                     generating run
 //
 // Without --csv/--chart the serving/fleet episodes run summary-only: the
 // per-request ledger is never materialised (tables and JSON are
@@ -95,7 +101,7 @@ struct Options {
     std::size_t requests = 0; // 0 -> fast-mode-aware default
     std::size_t burst = 8;
     std::size_t pretrain = 2500;
-    std::uint64_t seed = 42;
+    cli::SeedFlag seed;
     cli::OutputFormat format = cli::OutputFormat::table;
     std::string csv_dir;
     std::string telemetry_dir;
@@ -109,6 +115,10 @@ struct Options {
     /// and in scenario mode (override a fleet scenario's pool size/router).
     std::size_t devices = 0; // 0 = not passed
     std::string router;      // "" = not passed
+    /// Trace capture/replay directories (see HarnessConfig::trace_dir /
+    /// replay_dir); empty = off.
+    std::string record_trace_dir;
+    std::string replay_trace_dir;
     /// Ad-hoc-only flags the user explicitly passed, so scenario mode can
     /// reject them instead of silently ignoring an override.
     std::vector<std::string> adhoc_flags;
@@ -159,7 +169,7 @@ Options parse(int argc, char** argv) {
         } else if (flag == "--pretrain") {
             opt.pretrain = static_cast<std::size_t>(u64(flag, need_value(i)));
         } else if (flag == "--seed") {
-            opt.seed = u64(flag, need_value(i));
+            cli::parse_seed(kTool, need_value(i), opt.seed);
         } else if (flag == "--format") {
             opt.format = cli::parse_format(kTool, need_value(i));
         } else if (flag == "--csv") {
@@ -190,6 +200,16 @@ Options parse(int argc, char** argv) {
             if (opt.devices == 0) cli::usage_error(kTool, "--devices must be >= 1");
         } else if (flag == "--router") {
             opt.router = cli::parse_router(kTool, need_value(i));
+        } else if (flag == "--record-trace") {
+            opt.record_trace_dir = need_value(i);
+            if (opt.record_trace_dir.empty()) {
+                cli::usage_error(kTool, "--record-trace wants a directory");
+            }
+        } else if (flag == "--replay-trace") {
+            opt.replay_trace_dir = need_value(i);
+            if (opt.replay_trace_dir.empty()) {
+                cli::usage_error(kTool, "--replay-trace wants a directory");
+            }
         } else if (flag == "--help" || flag == "-h") {
             std::printf("see the header comment of tools/lotus_serve.cpp for usage\n");
             std::exit(0);
@@ -199,6 +219,12 @@ Options parse(int argc, char** argv) {
     }
     if (opt.telemetry_ring > 0 && opt.telemetry_dir.empty()) {
         cli::usage_error(kTool, "--telemetry-ring requires --telemetry");
+    }
+    if (!opt.record_trace_dir.empty() && !opt.replay_trace_dir.empty() &&
+        opt.record_trace_dir == opt.replay_trace_dir) {
+        cli::usage_error(kTool, "--record-trace and --replay-trace must not point at "
+                                "the same directory (capture would overwrite the "
+                                "traces being replayed)");
     }
     return opt;
 }
@@ -280,8 +306,10 @@ int run_scenarios(const Options& opt) {
 
     const auto render = render_options(opt); // validate before the long run
     cli::apply_profile_flag(render);
-    const harness::ExperimentHarness harness(
-        cli::harness_config(render, opt.jobs, opt.seed));
+    auto harness_cfg = cli::harness_config(render, opt.jobs, opt.seed.value);
+    harness_cfg.trace_dir = opt.record_trace_dir;
+    harness_cfg.replay_dir = opt.replay_trace_dir;
+    const harness::ExperimentHarness harness(harness_cfg);
     // Status goes to stderr so stdout is byte-identical at any --jobs count.
     std::fprintf(stderr, "%s: %zu scenario(s), %zu jobs, seed %llu\n", kTool.c_str(),
                  batch.size(), harness.config().jobs,
@@ -316,7 +344,7 @@ int run_adhoc(const Options& opt) {
         opt.requests > 0 ? opt.requests : (harness::fast_mode() ? 25 : 150);
 
     harness::Scenario scenario(
-        runtime::static_experiment(spec, kind, dataset, 1, 0, opt.seed));
+        runtime::static_experiment(spec, kind, dataset, 1, 0, opt.seed.value));
     scenario.name = opt.devices > 0 ? "cli_fleet" : "cli_serve";
     scenario.title = opt.devices > 0 ? "lotus_serve ad-hoc fleet experiment"
                                      : "lotus_serve ad-hoc serving experiment";
@@ -373,7 +401,7 @@ int run_adhoc(const Options& opt) {
                  dataset.c_str(), opt.streams, requests, opt.rate_hz,
                  serving::to_string(arrival.kind), slo_s * 1e3, opt.scheduler.c_str(),
                  scenario.arms[0].name.c_str(),
-                 static_cast<unsigned long long>(opt.seed));
+                 static_cast<unsigned long long>(opt.seed.value));
     if (opt.devices > 0) {
         std::fprintf(stderr, " | fleet of %zu, router %s", opt.devices,
                      scenario.fleet->router.c_str());
@@ -381,8 +409,10 @@ int run_adhoc(const Options& opt) {
     std::fprintf(stderr, "\n");
 
     cli::apply_profile_flag(render);
-    const harness::ExperimentHarness harness(
-        cli::harness_config(render, opt.jobs, opt.seed));
+    auto harness_cfg = cli::harness_config(render, opt.jobs, opt.seed.value);
+    harness_cfg.trace_dir = opt.record_trace_dir;
+    harness_cfg.replay_dir = opt.replay_trace_dir;
+    const harness::ExperimentHarness harness(harness_cfg);
     cli::render_results(render, {&scenario}, harness.run(scenario));
     return 0;
 }

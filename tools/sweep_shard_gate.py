@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""End-to-end gate for the lotus_sweep sharding and output contracts.
+
+Runs a small cartesian sweep (2 pool sizes x 2 routers x 2 governors)
+three ways -- unsharded, shard 1/2, shard 2/2 -- and asserts:
+
+  1. concatenating the shards' sweep.csv files in order is byte-identical
+     to the unsharded sweep.csv, and likewise for sweep.json -- the
+     contract that makes sweeps trivially distributable;
+  2. the unsharded sweep.json passes check_trace_json.py (cell-count
+     identity, monotone ordering, summary reconciliation with sweep.csv);
+  3. `lotus_inspect diff` on two identical sweep.json files exits 0 with
+     zero deltas, and exits non-zero after a counter in a copy is
+     perturbed -- the sweep regress gate actually bites.
+
+Usage:
+    sweep_shard_gate.py --sweep PATH/TO/lotus_sweep --inspect PATH/TO/lotus_inspect
+        [--check PATH/TO/check_trace_json.py] [--workdir DIR]
+
+Exit 0 when every property holds, 1 otherwise, 2 on setup failure.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+AXES = ["--devices", "1,2", "--router", "round_robin,least_queue",
+        "--governor", "performance,powersave", "--rate", "0.5",
+        "--requests", "10", "--pretrain", "0", "--streams", "2"]
+
+
+def run_sweep(sweep, out_dir, shard=None):
+    cmd = [sweep, "--out", out_dir] + AXES
+    if shard:
+        cmd += ["--shard", shard]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"sweep_shard_gate: {' '.join(cmd)} failed:\n{proc.stderr}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def read(path):
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--sweep", required=True)
+    ap.add_argument("--inspect", required=True)
+    ap.add_argument("--check",
+                    default=os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                         "check_trace_json.py"))
+    ap.add_argument("--workdir")
+    args = ap.parse_args()
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="sweep_shard_gate_")
+    full = os.path.join(workdir, "full")
+    s1 = os.path.join(workdir, "s1")
+    s2 = os.path.join(workdir, "s2")
+    for d in (full, s1, s2):
+        shutil.rmtree(d, ignore_errors=True)
+    run_sweep(args.sweep, full)
+    run_sweep(args.sweep, s1, shard="1/2")
+    run_sweep(args.sweep, s2, shard="2/2")
+
+    failures = []
+
+    # Property 1: shard concatenation is byte-identical to the full run.
+    for name in ("sweep.csv", "sweep.json"):
+        whole = read(os.path.join(full, name))
+        glued = read(os.path.join(s1, name)) + read(os.path.join(s2, name))
+        if whole != glued:
+            failures.append(f"shard 1/2 + 2/2 {name} differs from the unsharded file")
+
+    # Property 2: the sweep.json validator passes.
+    proc = subprocess.run([sys.executable, args.check,
+                           os.path.join(full, "sweep.json")],
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        failures.append(f"check_trace_json.py rejected sweep.json:\n{proc.stdout}"
+                        f"{proc.stderr}")
+
+    # Property 3a: identical sweeps diff clean.
+    proc = subprocess.run([args.inspect, "diff", os.path.join(full, "sweep.json"),
+                           os.path.join(full, "sweep.json")],
+                          capture_output=True, text=True)
+    if proc.returncode != 0 or "0 regressions, 0 improvements" not in proc.stdout:
+        failures.append(f"self-diff not clean (rc {proc.returncode}):\n{proc.stdout}")
+
+    # Property 3b: a perturbed copy trips the gate.
+    perturbed = os.path.join(workdir, "perturbed.json")
+    with open(os.path.join(full, "sweep.json"), "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    for i, line in enumerate(lines):
+        doc = json.loads(line)
+        if "cell" in doc:
+            doc["summary"]["missed"] += 5
+            lines[i] = json.dumps(doc)
+            break
+    with open(perturbed, "w", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
+    proc = subprocess.run([args.inspect, "diff", os.path.join(full, "sweep.json"),
+                           perturbed], capture_output=True, text=True)
+    if proc.returncode == 0:
+        failures.append("perturbed sweep.json did not trip the diff gate")
+    elif "REGRESSION" not in proc.stdout:
+        failures.append(f"perturbed diff exited {proc.returncode} without naming a "
+                        f"regression:\n{proc.stdout}")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"sweep_shard_gate: all properties hold ({workdir})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
